@@ -1,0 +1,132 @@
+// Command designer builds and analyzes factorial experiment designs.
+//
+// Usage:
+//
+//	designer sign -k 3
+//	    print the full 2^k sign table
+//	designer fractional -k 7 -g "D=AB,E=AC,F=BC,G=ABC"
+//	    print a 2^(k-p) design, its confoundings, and resolution
+//	designer analyze -k 2 -y "15,25,45,75"
+//	    estimate effects and allocation of variation from responses in
+//	    canonical sign-table run order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/design"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "designer:", err)
+		os.Exit(1)
+	}
+}
+
+func letterFactors(k int) ([]design.Factor, error) {
+	if k < 1 || k > 20 {
+		return nil, fmt.Errorf("k must be in [1,20], got %d", k)
+	}
+	var out []design.Factor
+	for i := 0; i < k; i++ {
+		out = append(out, design.MustFactor(string(rune('A'+i)), "-1", "+1"))
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: designer sign|fractional|analyze [flags]")
+	}
+	switch args[0] {
+	case "sign":
+		fs := flag.NewFlagSet("sign", flag.ContinueOnError)
+		k := fs.Int("k", 2, "number of two-level factors")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		factors, err := letterFactors(*k)
+		if err != nil {
+			return err
+		}
+		st, err := design.NewSignTable(factors)
+		if err != nil {
+			return err
+		}
+		fmt.Print(st.String())
+		return nil
+
+	case "fractional":
+		fs := flag.NewFlagSet("fractional", flag.ContinueOnError)
+		k := fs.Int("k", 4, "number of two-level factors")
+		gensFlag := fs.String("g", "", "comma-separated generators, e.g. D=ABC")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		factors, err := letterFactors(*k)
+		if err != nil {
+			return err
+		}
+		if *gensFlag == "" {
+			return fmt.Errorf("fractional needs -g generators")
+		}
+		var gens []design.Generator
+		for _, s := range strings.Split(*gensFlag, ",") {
+			g, err := design.ParseGenerator(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			gens = append(gens, g)
+		}
+		fr, err := design.NewFractional(factors, gens)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("2^(%d-%d) design, %d runs, resolution %d\n\n", *k, len(gens), fr.Table.Runs, fr.Resolution())
+		fmt.Print(fr.Table.Design().String())
+		fmt.Printf("\nconfoundings:\n%s", fr.ConfoundingTable())
+		return nil
+
+	case "analyze":
+		fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+		k := fs.Int("k", 2, "number of two-level factors")
+		ys := fs.String("y", "", "comma-separated responses in canonical run order")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		factors, err := letterFactors(*k)
+		if err != nil {
+			return err
+		}
+		st, err := design.NewSignTable(factors)
+		if err != nil {
+			return err
+		}
+		parts := strings.Split(*ys, ",")
+		if len(parts) != st.Runs {
+			return fmt.Errorf("need %d responses for a 2^%d design, got %d", st.Runs, *k, len(parts))
+		}
+		y := make([]float64, len(parts))
+		for i, p := range parts {
+			y[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("response %d: %w", i+1, err)
+			}
+		}
+		ef, err := design.EstimateEffects(st, y)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ef.ModelString())
+		fmt.Print(ef.VariationTable())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (want sign, fractional, or analyze)", args[0])
+	}
+}

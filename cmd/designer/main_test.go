@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestDesignerCommands(t *testing.T) {
+	good := [][]string{
+		{"sign", "-k", "3"},
+		{"fractional", "-k", "7", "-g", "D=AB,E=AC,F=BC,G=ABC"},
+		{"analyze", "-k", "2", "-y", "15,25,45,75"},
+	}
+	for _, args := range good {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+	bad := [][]string{
+		{},
+		{"bogus"},
+		{"sign", "-k", "0"},
+		{"sign", "-k", "25"},
+		{"fractional", "-k", "4"}, // no generators
+		{"fractional", "-k", "4", "-g", "garbage"},    // unparseable
+		{"fractional", "-k", "4", "-g", "A=BC"},       // targets base
+		{"analyze", "-k", "2", "-y", "1,2"},           // wrong count
+		{"analyze", "-k", "2", "-y", "1,2,3,notanum"}, // unparseable
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command perfeval regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	perfeval list
+//	perfeval run <id>|all [-Dout.dir=DIR]
+//	perfeval suite
+//
+// run prints the artifact to stdout; with -Dout.dir=DIR it also writes
+// res/<id>.txt under DIR. suite prints the repeatability instructions for
+// the whole experiment set.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/config"
+	"repro/internal/paperexp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "perfeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	props := config.New(nil)
+	rest, err := props.ApplyArgs(args)
+	if err != nil {
+		return err
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: perfeval list | run <id>|all | suite")
+	}
+	switch rest[0] {
+	case "list":
+		for _, e := range paperexp.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+
+	case "run":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: perfeval run <id>|all")
+		}
+		outDir := props.GetOr("out.dir", "")
+		var results []*paperexp.Result
+		if rest[1] == "all" {
+			results, err = paperexp.RunAll()
+			if err != nil {
+				return err
+			}
+		} else {
+			for _, id := range rest[1:] {
+				r, err := paperexp.Run(id)
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+			}
+		}
+		for _, r := range results {
+			fmt.Printf("=== %s (slides %s): %s ===\n\n%s\n", r.ID, r.Slides, r.Title, r.Text)
+			if r.Notes != "" {
+				fmt.Printf("notes: %s\n\n", r.Notes)
+			}
+			if outDir != "" {
+				dir := filepath.Join(outDir, "res")
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return err
+				}
+				path := filepath.Join(dir, r.ID+".txt")
+				if err := os.WriteFile(path, []byte(r.Text), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+		return nil
+
+	case "suite":
+		fmt.Print(paperexp.PaperSuite().Instructions())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (want list, run, or suite)", rest[0])
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPerfevalCommands(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	if err := run([]string{"suite"}); err != nil {
+		t.Errorf("suite: %v", err)
+	}
+	if err := run([]string{"run", "t4", "t9"}); err != nil {
+		t.Errorf("run t4 t9: %v", err)
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-Dout.dir=" + dir, "run", "t3"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "res", "t3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 50 {
+		t.Errorf("artifact too short: %d bytes", len(data))
+	}
+	for _, bad := range [][]string{
+		{},
+		{"run"},
+		{"run", "zzz"},
+		{"bogus"},
+		{"-Dmalformed", "list"},
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("run(%v) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Compare example: the paper's "Of apples and oranges" chapter as a
+// workflow — compare the two query engines on the same workload while the
+// framework checks the comparison is fair (same build mode, same machine,
+// same buffer warmth), measures with replication, and decides via
+// confidence-interval overlap instead of a bare pair of numbers.
+//
+// Run with: go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/hwsim"
+	"repro/internal/stats"
+	"repro/internal/tpch"
+	"repro/internal/vdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	db, err := tpch.Gen(0.05, 42)
+	if err != nil {
+		return err
+	}
+	q, err := tpch.Q(1)
+	if err != nil {
+		return err
+	}
+	machine := hwsim.PentiumM2005
+
+	newCtx := func() *vdb.ExecContext {
+		ctx := vdb.NewSimContext(db, &machine, hwsim.NewVirtualClock())
+		ctx.Buffers.WarmAll(db.TableNames())
+		return ctx
+	}
+
+	// First: an UNFAIR comparison, caught before any number is produced.
+	unfairA := newCtx()
+	unfairB := newCtx()
+	unfairB.Mode = hwsim.Debug // colleague B forgot to compile with -O
+	fmt.Println("attempting an unfair comparison:")
+	for _, issue := range vdb.CheckFairComparison(unfairA, unfairB, db.TableNames()) {
+		fmt.Println("  -", issue)
+	}
+
+	// Then: the fair one. Same mode, machine, warmth; replicated runs.
+	fmt.Println("\nfair comparison of the two engines on Q1 (5 replicates each):")
+	measureEngine := func(engine vdb.Engine) ([]float64, error) {
+		var samples []float64
+		for rep := 0; rep < 5; rep++ {
+			ctx := newCtx()
+			start := ctx.Clock.Now()
+			// Deterministic per-replicate perturbation models run-to-
+			// run noise without breaking repeatability.
+			ctx.Clock.AdvanceCPU(float64(rep) * 1e4)
+			if _, err := vdb.Run(ctx, engine, q.Plan); err != nil {
+				return nil, err
+			}
+			samples = append(samples, float64(ctx.Clock.Now()-start)/float64(time.Millisecond))
+		}
+		return samples, nil
+	}
+	rowTimes, err := measureEngine(vdb.RowEngine{})
+	if err != nil {
+		return err
+	}
+	colTimes, err := measureEngine(vdb.ColumnEngine{})
+	if err != nil {
+		return err
+	}
+
+	cmp, err := stats.CompareAlternatives(rowTimes, colTimes, 0.95)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  tuple-at-a-time:   %v ms\n", cmp.A)
+	fmt.Printf("  column-at-a-time:  %v ms\n", cmp.B)
+	fmt.Printf("  verdict: %s\n", cmp.Verdict)
+	if cmp.Verdict == stats.BLower {
+		fmt.Printf("  speed-up: %.1fx\n", stats.Speedup(cmp.A.Mean, cmp.B.Mean))
+	}
+	fmt.Println("\ndocument what you did: build mode", unfairA.Mode,
+		"| machine", machine.Name, "| buffers hot | last-of-replicates shown as CIs")
+	return nil
+}

@@ -1,0 +1,112 @@
+// Factorial example: the paper's design chapter end to end — the 2^2
+// memory/cache worked example, a live allocation-of-variation study on the
+// interconnection-network simulator, and a 2^(7-4) fractional screening
+// design with its confounding structure.
+//
+// Run with: go run ./examples/factorial
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/design"
+	"repro/internal/harness"
+	"repro/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "factorial:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Part 1: the paper's 2^2 memory/cache example via the harness.
+	d, err := design.TwoLevelFull([]design.Factor{
+		design.MustFactor("memory", "4MB", "16MB"),
+		design.MustFactor("cache", "1KB", "2KB"),
+	})
+	if err != nil {
+		return err
+	}
+	mips := map[string]float64{
+		"cache=1KB memory=4MB":  15,
+		"cache=2KB memory=4MB":  25,
+		"cache=1KB memory=16MB": 45,
+		"cache=2KB memory=16MB": 75,
+	}
+	rs, err := harness.Execute(&harness.Experiment{
+		Name: "workstation MIPS", Design: d, Responses: []string{"MIPS"},
+		Run: func(a design.Assignment, _ int) (map[string]float64, error) {
+			return map[string]float64{"MIPS": mips[a.String()]}, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== the paper's 2^2 memory/cache example ==")
+	fmt.Println(rs.Report())
+
+	// Part 2: live 2^2 study on the interconnection-network simulator.
+	fmt.Println("== live study: network type x address pattern ==")
+	factors := []design.Factor{
+		design.MustFactor("network", "Crossbar", "Omega"),
+		design.MustFactor("pattern", "Random", "Matrix"),
+	}
+	st, err := design.NewSignTable(factors)
+	if err != nil {
+		return err
+	}
+	cfg := netsim.Config{Procs: 16, Cycles: 3000, Think: 1, Seed: 7}
+	nets := []netsim.Network{netsim.Crossbar{N: 16}, netsim.Omega{N: 16}}
+	pats := []netsim.Pattern{netsim.RandomPattern{}, netsim.MatrixPattern{}}
+	y := make([]float64, 4)
+	for run := 0; run < 4; run++ {
+		m, err := netsim.Simulate(nets[st.LevelIndex(run, 0)], pats[st.LevelIndex(run, 1)], cfg)
+		if err != nil {
+			return err
+		}
+		y[run] = m.Throughput
+		fmt.Printf("  %-8s %-7s T=%.4f\n", nets[st.LevelIndex(run, 0)].Name(), pats[st.LevelIndex(run, 1)].Name(), m.Throughput)
+	}
+	ef, err := design.EstimateEffects(st, y)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n" + ef.VariationTable())
+
+	// Two-stage methodology: which factors matter enough to refine?
+	important := design.TwoStage{Threshold: 0.05}.ImportantFactors(ef)
+	fmt.Print("factors worth a detailed stage-two study: ")
+	for i, f := range important {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(f.Name)
+	}
+	fmt.Println()
+
+	// Part 3: fractional screening design for seven factors in 8 runs.
+	fmt.Println("\n== 2^(7-4) screening design ==")
+	var seven []design.Factor
+	for i := 0; i < 7; i++ {
+		seven = append(seven, design.MustFactor(string(rune('A'+i)), "-1", "+1"))
+	}
+	var gens []design.Generator
+	for _, s := range []string{"D=AB", "E=AC", "F=BC", "G=ABC"} {
+		g, err := design.ParseGenerator(s)
+		if err != nil {
+			return err
+		}
+		gens = append(gens, g)
+	}
+	fr, err := design.NewFractional(seven, gens)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("8 runs instead of 128, resolution %d\n", fr.Resolution())
+	fmt.Print(fr.ConfoundingTable())
+	return nil
+}

@@ -1,0 +1,84 @@
+// Memory-wall example: regenerate the paper's famous figure — the elapsed
+// time per iteration of SELECT MAX(column) across 1990s machine
+// generations — as an ASCII chart, and emit the gnuplot artifacts for a
+// publication-quality version.
+//
+// Run with: go run ./examples/memorywall [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/hwsim"
+	"repro/internal/plot"
+)
+
+func main() {
+	out := flag.String("out", "", "directory to write gnuplot data and script (optional)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "memorywall:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string) error {
+	series := hwsim.MemoryWallSeries()
+	labels := make([]string, len(series))
+	cpu := make([]float64, len(series))
+	mem := make([]float64, len(series))
+	for i, m := range series {
+		c := m.ScanNsPerValue(8)
+		labels[i] = fmt.Sprintf("%d %s %.0fMHz", m.Year, m.CPU, m.ClockHz/1e6)
+		cpu[i], mem[i] = c.CPUNs, c.MemNs
+		fmt.Println(m.Spec())
+	}
+	fmt.Println()
+	chart, err := plot.StackedBar("SELECT MAX(column): elapsed time per iteration",
+		labels, cpu, mem, "CPU", "memory", "ns/iter", 78)
+	if err != nil {
+		return err
+	}
+	fmt.Println(chart)
+
+	clockGain := series[len(series)-1].ClockHz / series[0].ClockHz
+	totalGain := (cpu[0] + mem[0]) / (cpu[len(cpu)-1] + mem[len(mem)-1])
+	fmt.Printf("CPU clock improved %.0fx; scan time per value improved only %.1fx.\n", clockGain, totalGain)
+	fmt.Println("Research: always question what you see — dissect CPU and memory costs.")
+
+	if outDir == "" {
+		return nil
+	}
+	// Publication artifact: totals as a line chart with gnuplot script.
+	pts := make([]plot.Point, len(series))
+	for i := range series {
+		pts[i] = plot.Point{X: float64(series[i].Year), Y: cpu[i] + mem[i]}
+	}
+	line := plot.NewLineChart("In-memory scan across machine generations",
+		"year of machine", "elapsed time per iteration (ns)",
+		plot.Series{Name: "total per-value scan time", Points: pts})
+	if vs := plot.Lint(line); len(vs) != 0 {
+		return fmt.Errorf("chart violates guidelines: %v", vs)
+	}
+	data, err := plot.WriteGnuplotData(line)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	dataPath := filepath.Join(outDir, "memorywall.dat")
+	scriptPath := filepath.Join(outDir, "memorywall.gnu")
+	if err := os.WriteFile(dataPath, []byte(data), 0o644); err != nil {
+		return err
+	}
+	script := plot.GnuplotScript(line, dataPath, filepath.Join(outDir, "memorywall.eps"))
+	if err := os.WriteFile(scriptPath, []byte(script), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s; render with: gnuplot %s\n", dataPath, scriptPath, scriptPath)
+	return nil
+}

@@ -1,0 +1,113 @@
+// Quickstart: conduct a complete, methodologically sound performance study
+// with the core pipeline — question, factorial design with replication,
+// environment specification, analysis, and repeatability packaging.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/harness"
+	"repro/internal/measure"
+	"repro/internal/repeat"
+	"repro/internal/sysinfo"
+)
+
+// workload is the system under test: sorting, with the algorithm and the
+// input size as factors.
+func workload(algorithm string, n int) {
+	data := make([]int, n)
+	for i := range data {
+		data[i] = (i * 2654435761) % n
+	}
+	switch algorithm {
+	case "stdlib":
+		sort.Ints(data)
+	default: // insertion
+		for i := 1; i < len(data); i++ {
+			for j := i; j > 0 && data[j] < data[j-1]; j-- {
+				data[j], data[j-1] = data[j-1], data[j]
+			}
+		}
+	}
+}
+
+func main() {
+	// 1. Design: a 2^2 factorial over algorithm x input size, replicated
+	//    5 times so experimental error is measured (common mistake #1 is
+	//    ignoring it).
+	d, err := design.TwoLevelFull([]design.Factor{
+		design.MustFactor("algorithm", "insertion", "stdlib"),
+		design.MustFactor("size", "2000", "8000"),
+	})
+	check(err)
+	d.Replicates = 5
+
+	// 2. Runner: measured with a real wall clock, hot protocol, median of
+	//    three runs per replicate.
+	clock := measure.NewRealClock()
+	exp := &harness.Experiment{
+		Name:      "sorting algorithms",
+		Design:    d,
+		Responses: []string{"ms"},
+		Run: func(a design.Assignment, rep int) (map[string]float64, error) {
+			n := 2000
+			if a["size"] == "8000" {
+				n = 8000
+			}
+			proto := measure.Protocol{Clock: clock, State: measure.Hot, Warmup: 1, Runs: 3, Pick: measure.PickMedian}
+			res, err := proto.Run(measure.TargetFuncs{RunFunc: func() error {
+				workload(a["algorithm"], n)
+				return nil
+			}})
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{"ms": float64(res.Chosen.Real) / float64(time.Millisecond)}, nil
+		},
+	}
+
+	// 3. Environment specification at the paper's recommended detail.
+	hw := &sysinfo.HWSpec{
+		CPUVendor: "generic", CPUModel: "development machine", ClockHz: 2.7e9,
+		Caches:   []sysinfo.CacheSpec{{Level: "L2", SizeBytes: 1 << 20}},
+		RAMBytes: 8 << 30,
+		Disks:    []sysinfo.DiskSpec{{Description: "SSD", SizeBytes: 256 << 30}},
+	}
+	sw := &sysinfo.SWSpec{OS: "linux", Compiler: "go1.22", Flags: "default",
+		Products: []sysinfo.ProductVersion{{Name: "repro", Version: "1.0"}}}
+
+	// 4. Repeatability packaging.
+	suite := &repeat.Suite{
+		Name:         "quickstart",
+		Requirements: []string{"Go 1.22+"},
+		Install:      "go build ./...",
+		Experiments: []repeat.Experiment{{
+			ID: "sorting", Description: "sorting 2^2 study",
+			Script: "go run ./examples/quickstart", OutputPath: "stdout",
+			ExpectedDuration: 30 * time.Second, Idempotent: true,
+		}},
+	}
+
+	report, err := core.Conduct(&core.Study{
+		Question:   "does the stdlib sort beat insertion sort, and does the gap grow with input size (interaction)?",
+		Experiment: exp,
+		Hardware:   hw, Software: sw, Suite: suite,
+	})
+	check(err)
+	fmt.Println(report.Text)
+	fmt.Printf("methodologically sound: %v\n", report.Sound())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// TPC-H example: generate the workload, inspect plans with EXPLAIN, run Q1
+// hot and cold on both engines with the paper's measurement protocol, and
+// print the PROFILE breakdown — the full "CSI" toolchain of the paper's
+// planning chapter.
+//
+// Run with: go run ./examples/tpch [-sf 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/hwsim"
+	"repro/internal/measure"
+	"repro/internal/tpch"
+	"repro/internal/vdb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "scale factor")
+	flag.Parse()
+	if err := run(*sf); err != nil {
+		fmt.Fprintln(os.Stderr, "tpch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sf float64) error {
+	db, err := tpch.Gen(sf, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated TPC-H-like catalog at sf=%g:\n", sf)
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s %8d rows  %9d bytes\n", name, t.NumRows(), t.ByteSize())
+	}
+
+	q, err := tpch.Q(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nEXPLAIN Q%d (%s):\n%s\n", q.Num, q.Name, vdb.Explain(q.Plan))
+
+	machine := hwsim.PentiumM2005
+	tab := harness.NewTable().Header("engine", "state", "user (ms)", "real (ms)")
+	for _, engine := range []vdb.Engine{vdb.RowEngine{}, vdb.ColumnEngine{}} {
+		for _, state := range []measure.RunState{measure.Cold, measure.Hot} {
+			ctx := vdb.NewSimContext(db, &machine, hwsim.NewVirtualClock())
+			target := measure.TargetFuncs{
+				ResetFunc: func(s measure.RunState) error {
+					if s == measure.Cold {
+						ctx.Buffers.FlushAll()
+					}
+					return nil
+				},
+				RunFunc: func() error {
+					_, err := vdb.Run(ctx, engine, q.Plan)
+					return err
+				},
+			}
+			proto := measure.ColdSingle(ctx.Clock)
+			if state == measure.Hot {
+				proto = measure.Protocol{Clock: ctx.Clock, State: measure.Hot, Warmup: 1, Runs: 3, Pick: measure.PickLast}
+			}
+			res, err := proto.Run(target)
+			if err != nil {
+				return err
+			}
+			tab.Row(engine.Name(), state.String(),
+				fmt.Sprintf("%.1f", float64(res.Chosen.User)/float64(time.Millisecond)),
+				fmt.Sprintf("%.1f", float64(res.Chosen.Real)/float64(time.Millisecond)))
+		}
+	}
+	fmt.Println("Q1 on the simulated Pentium M laptop (hot = last of three):")
+	fmt.Println(tab.String())
+
+	// PROFILE: find out where the time goes.
+	ctx := vdb.NewSimContext(db, &machine, hwsim.NewVirtualClock())
+	ctx.Buffers.WarmAll(db.TableNames())
+	ctx.Profiler = vdb.NewProfiler("column-at-a-time", ctx.Clock)
+	if _, err := vdb.Run(ctx, vdb.ColumnEngine{}, q.Plan); err != nil {
+		return err
+	}
+	fmt.Println(ctx.Profiler.String())
+	return nil
+}

@@ -1,0 +1,216 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultsChain(t *testing.T) {
+	defaults, err := FromPairs("dataDir", "./data", "doStore", "true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(defaults)
+	// Unset key falls back to default (the paper's init() pattern).
+	if v, err := p.Get("dataDir"); err != nil || v != "./data" {
+		t.Errorf("dataDir = %q, %v", v, err)
+	}
+	// Override wins.
+	p.Set("dataDir", "./test")
+	if v, _ := p.Get("dataDir"); v != "./test" {
+		t.Errorf("overridden dataDir = %q", v)
+	}
+	// Unknown key: meaningful error naming known keys.
+	_, err = p.Get("bogus")
+	if err == nil || !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), "dataDir") {
+		t.Errorf("error = %v", err)
+	}
+	if p.GetOr("bogus", "fb") != "fb" {
+		t.Error("GetOr fallback")
+	}
+}
+
+func TestTypedGetters(t *testing.T) {
+	p, _ := FromPairs("n", "42", "f", "1.5", "b", "yes", "d", "150ms", "bad", "xyz")
+	if n, err := p.GetInt("n"); err != nil || n != 42 {
+		t.Errorf("GetInt = %d, %v", n, err)
+	}
+	if f, err := p.GetFloat("f"); err != nil || f != 1.5 {
+		t.Errorf("GetFloat = %g, %v", f, err)
+	}
+	if b, err := p.GetBool("b"); err != nil || !b {
+		t.Errorf("GetBool = %v, %v", b, err)
+	}
+	if d, err := p.GetDuration("d"); err != nil || d != 150*time.Millisecond {
+		t.Errorf("GetDuration = %v, %v", d, err)
+	}
+	for _, fn := range []func(string) error{
+		func(k string) error { _, err := p.GetInt(k); return err },
+		func(k string) error { _, err := p.GetFloat(k); return err },
+		func(k string) error { _, err := p.GetBool(k); return err },
+		func(k string) error { _, err := p.GetDuration(k); return err },
+	} {
+		if err := fn("bad"); err == nil {
+			t.Error("bad value should error")
+		}
+		if err := fn("missing"); err == nil {
+			t.Error("missing key should error")
+		}
+	}
+	for s, want := range map[string]bool{"true": true, "1": true, "ON": true, "no": false, "0": false, "off": false} {
+		p.Set("x", s)
+		got, err := p.GetBool("x")
+		if err != nil || got != want {
+			t.Errorf("GetBool(%q) = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	p, _ := FromPairs("key.one", "value one", "path", `C:\tmp`, "multi", "a\nb")
+	text := p.Store("experiment parameters")
+	if !strings.HasPrefix(text, "# experiment parameters\n") {
+		t.Errorf("missing comment header: %q", text)
+	}
+	q, err := Load(text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"key.one", "path", "multi"} {
+		a, _ := p.Get(k)
+		b, err := q.Get(k)
+		if err != nil || a != b {
+			t.Errorf("round trip %q: %q vs %q (%v)", k, a, b, err)
+		}
+	}
+}
+
+func TestLoadErrorsAndComments(t *testing.T) {
+	text := "# comment\n! also comment\n\nkey=value\n"
+	p, err := Load(text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Get("key"); v != "value" {
+		t.Errorf("key = %q", v)
+	}
+	if _, err := Load("novalue\n", nil); err == nil {
+		t.Error("malformed line should error")
+	}
+	if _, err := Load("=nokey\n", nil); err == nil {
+		t.Error("empty key should error")
+	}
+}
+
+func TestApplyArgs(t *testing.T) {
+	p := New(nil)
+	rest, err := p.ApplyArgs([]string{"-DdataDir=./test", "run", "-DdoStore=false", "q1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 || rest[0] != "run" || rest[1] != "q1" {
+		t.Errorf("rest = %v", rest)
+	}
+	if v, _ := p.Get("dataDir"); v != "./test" {
+		t.Errorf("dataDir = %q", v)
+	}
+	if _, err := p.ApplyArgs([]string{"-Dmalformed"}); err == nil {
+		t.Error("malformed -D should error")
+	}
+	if _, err := p.ApplyArgs([]string{"-D=v"}); err == nil {
+		t.Error("empty key -D should error")
+	}
+}
+
+func TestApplyEnv(t *testing.T) {
+	p := New(nil)
+	p.ApplyEnv([]string{"PERFEVAL_DATA_DIR=/x", "OTHER=1", "PERFEVAL_SCALE=0.1", "MALFORMED"}, "PERFEVAL")
+	if v, _ := p.Get("data.dir"); v != "/x" {
+		t.Errorf("data.dir = %q", v)
+	}
+	if v, _ := p.Get("scale"); v != "0.1" {
+		t.Errorf("scale = %q", v)
+	}
+	if _, err := p.Get("other"); err == nil {
+		t.Error("unprefixed env var should not apply")
+	}
+}
+
+func TestKeysOrderAndChain(t *testing.T) {
+	defaults, _ := FromPairs("z", "1", "a", "2")
+	p := New(defaults)
+	p.Set("m", "3")
+	p.Set("b", "4")
+	keys := p.Keys()
+	// Own keys first in insertion order, then inherited sorted.
+	want := []string{"m", "b", "a", "z"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("keys[%d] = %q, want %q", i, keys[i], want[i])
+		}
+	}
+	// Overriding an inherited key doesn't duplicate it.
+	p.Set("a", "x")
+	count := 0
+	for _, k := range p.Keys() {
+		if k == "a" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("key 'a' appears %d times", count)
+	}
+}
+
+func TestFromPairsOdd(t *testing.T) {
+	if _, err := FromPairs("only-key"); err == nil {
+		t.Error("odd pair count should error")
+	}
+}
+
+// Property: Store/Load round-trips arbitrary printable values.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(rawKey, rawVal []byte) bool {
+		key := sanitizeKey(rawKey)
+		val := sanitizeVal(rawVal)
+		if key == "" {
+			return true
+		}
+		p := New(nil)
+		p.Set(key, val)
+		q, err := Load(p.Store(""), nil)
+		if err != nil {
+			return false
+		}
+		got, err := q.Get(key)
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeKey(raw []byte) string {
+	var b strings.Builder
+	for _, c := range raw {
+		if c > ' ' && c < 127 && c != '=' && c != '#' && c != '!' && c != '\\' {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func sanitizeVal(raw []byte) string {
+	var b strings.Builder
+	for _, c := range raw {
+		if c >= ' ' && c < 127 {
+			b.WriteByte(c)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

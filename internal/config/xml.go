@@ -1,0 +1,55 @@
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// XML serialization of Properties, mirroring java.util.Properties'
+// storeToXML/loadFromXML that the paper's repeatability chapter mentions.
+// The element layout matches Java's:
+//
+//	<properties>
+//	  <comment>...</comment>
+//	  <entry key="dataDir">./data</entry>
+//	</properties>
+type xmlProperties struct {
+	XMLName xml.Name   `xml:"properties"`
+	Comment string     `xml:"comment,omitempty"`
+	Entries []xmlEntry `xml:"entry"`
+}
+
+type xmlEntry struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// StoreXML renders the properties (own keys only) as XML.
+func (p *Properties) StoreXML(comment string) (string, error) {
+	doc := xmlProperties{Comment: comment}
+	for _, k := range p.order {
+		doc.Entries = append(doc.Entries, xmlEntry{Key: k, Value: p.values[k]})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("config: marshal XML: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// LoadXML parses StoreXML output (or Java Properties XML) into a new
+// Properties with the given defaults.
+func LoadXML(text string, defaults *Properties) (*Properties, error) {
+	var doc xmlProperties
+	if err := xml.Unmarshal([]byte(text), &doc); err != nil {
+		return nil, fmt.Errorf("config: parse XML properties: %w", err)
+	}
+	p := New(defaults)
+	for _, e := range doc.Entries {
+		if e.Key == "" {
+			return nil, fmt.Errorf("config: XML entry with empty key")
+		}
+		p.Set(e.Key, e.Value)
+	}
+	return p, nil
+}

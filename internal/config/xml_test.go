@@ -1,0 +1,81 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	p, _ := FromPairs("dataDir", "./data", "doStore", "true", "odd", "<&> \"quoted\"")
+	text, err := p.StoreXML("experiment parameters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<properties>", "<comment>experiment parameters</comment>", `<entry key="dataDir">./data</entry>`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("XML missing %q:\n%s", want, text)
+		}
+	}
+	q, err := LoadXML(text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range p.Keys() {
+		a, _ := p.Get(k)
+		b, err := q.Get(k)
+		if err != nil || a != b {
+			t.Errorf("round trip %q: %q vs %q (%v)", k, a, b, err)
+		}
+	}
+}
+
+func TestLoadXMLErrors(t *testing.T) {
+	if _, err := LoadXML("not xml at all <", nil); err == nil {
+		t.Error("malformed XML should error")
+	}
+	if _, err := LoadXML(`<properties><entry key="">v</entry></properties>`, nil); err == nil {
+		t.Error("empty key should error")
+	}
+}
+
+func TestLoadXMLWithDefaults(t *testing.T) {
+	defaults, _ := FromPairs("base", "1")
+	p, err := LoadXML(`<properties><entry key="x">2</entry></properties>`, defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Get("base"); v != "1" {
+		t.Errorf("default not visible: %q", v)
+	}
+	if v, _ := p.Get("x"); v != "2" {
+		t.Errorf("x = %q", v)
+	}
+}
+
+// Property: XML round-trips arbitrary printable values, including XML
+// metacharacters (encoding/xml escapes them).
+func TestXMLRoundTripQuick(t *testing.T) {
+	f := func(rawKey, rawVal []byte) bool {
+		key := sanitizeKey(rawKey)
+		val := sanitizeVal(rawVal)
+		if key == "" {
+			return true
+		}
+		p := New(nil)
+		p.Set(key, val)
+		text, err := p.StoreXML("")
+		if err != nil {
+			return false
+		}
+		q, err := LoadXML(text, nil)
+		if err != nil {
+			return false
+		}
+		got, err := q.Get(key)
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

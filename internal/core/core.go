@@ -1,0 +1,159 @@
+// Package core is the public face of the paper's primary contribution: the
+// performance-evaluation methodology itself, as an executable pipeline
+//
+//	plan -> design -> run -> analyze -> present -> package
+//
+// A Study collects everything the paper says a sound evaluation needs —
+// the question, the factors and design, a replicated runner, the
+// environment specification, and the repeatability packaging — and Conduct
+// walks the pipeline, producing a Report whose checklist records which
+// methodological obligations were met.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/design"
+	"repro/internal/harness"
+	"repro/internal/repeat"
+	"repro/internal/sysinfo"
+)
+
+// Study is a planned performance evaluation.
+type Study struct {
+	// Question states what the experiment is to analyze/test/prove/show
+	// — the first planning question of the paper.
+	Question string
+	// Experiment is the design plus runner.
+	Experiment *harness.Experiment
+	// Hardware and Software document the environment at the paper's
+	// recommended level of detail.
+	Hardware *sysinfo.HWSpec
+	Software *sysinfo.SWSpec
+	// Suite packages the study for repetition; optional but its absence
+	// is reported.
+	Suite *repeat.Suite
+	// Confidence for interval reporting; default 0.95.
+	Confidence float64
+}
+
+// ChecklistItem is one methodological obligation and whether it was met.
+type ChecklistItem struct {
+	Name string
+	OK   bool
+	Note string
+}
+
+// Report is the outcome of conducting a study.
+type Report struct {
+	Study     *Study
+	Results   *harness.ResultSet
+	Checklist []ChecklistItem
+	Text      string
+}
+
+// Conduct validates the study, executes the experiment, analyzes it, and
+// assembles the report. Methodological gaps (no replication, missing
+// environment spec, no repeatability packaging) do not abort the study —
+// they are recorded on the checklist, mirroring how the paper treats them
+// as craftsmanship defects rather than hard failures.
+func Conduct(s *Study) (*Report, error) {
+	if s == nil || s.Experiment == nil {
+		return nil, fmt.Errorf("core: study needs an experiment")
+	}
+	if s.Question == "" {
+		return nil, fmt.Errorf("core: state what the experiment is to analyze/test/prove/show")
+	}
+	if s.Confidence == 0 {
+		s.Confidence = 0.95
+	}
+
+	rs, err := harness.Execute(s.Experiment)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Study: s, Results: rs}
+	check := func(name string, ok bool, note string) {
+		rep.Checklist = append(rep.Checklist, ChecklistItem{Name: name, OK: ok, Note: note})
+	}
+
+	check("question stated", true, s.Question)
+	mistakes := design.Diagnose(s.Experiment.Design, 0)
+	check("replication (experimental error measured)", s.Experiment.Design.Replicates >= 2,
+		mistakeNote(mistakes, design.MistakeIgnoredError))
+	check("interactions observable (factorial design)",
+		s.Experiment.Design.Kind != design.KindSimple,
+		mistakeNote(mistakes, design.MistakeOneAtATime))
+
+	if s.Hardware != nil {
+		missing := s.Hardware.MissingFields()
+		check("hardware specified", len(missing) == 0, strings.Join(missing, "; "))
+	} else {
+		check("hardware specified", false, "no hardware specification")
+	}
+	if s.Software != nil {
+		missing := s.Software.MissingFields()
+		check("software specified", len(missing) == 0, strings.Join(missing, "; "))
+	} else {
+		check("software specified", false, "no software specification")
+	}
+	if s.Suite != nil {
+		err := s.Suite.Validate()
+		check("repeatability packaged", err == nil, errNote(err))
+	} else {
+		check("repeatability packaged", false, "no repeatability suite")
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "question: %s\n\n", s.Question)
+	if s.Hardware != nil {
+		b.WriteString(s.Hardware.Report(sysinfo.Right))
+	}
+	if s.Software != nil {
+		b.WriteString(s.Software.Report())
+	}
+	b.WriteByte('\n')
+	b.WriteString(rs.Report())
+	b.WriteString("\nmethodology checklist:\n")
+	for _, item := range rep.Checklist {
+		mark := "ok  "
+		if !item.OK {
+			mark = "MISS"
+		}
+		fmt.Fprintf(&b, "  [%s] %s", mark, item.Name)
+		if item.Note != "" && !item.OK {
+			fmt.Fprintf(&b, " — %s", item.Note)
+		}
+		b.WriteByte('\n')
+	}
+	rep.Text = b.String()
+	return rep, nil
+}
+
+// Sound reports whether every checklist item was met.
+func (r *Report) Sound() bool {
+	for _, item := range r.Checklist {
+		if !item.OK {
+			return false
+		}
+	}
+	return true
+}
+
+func mistakeNote(ms []design.CommonMistake, want design.CommonMistake) string {
+	for _, m := range ms {
+		if m == want {
+			return m.String()
+		}
+	}
+	return ""
+}
+
+func errNote(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

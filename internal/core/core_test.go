@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/design"
+	"repro/internal/harness"
+	"repro/internal/repeat"
+	"repro/internal/sysinfo"
+)
+
+func demoExperiment(t *testing.T, reps int) *harness.Experiment {
+	t.Helper()
+	d, err := design.TwoLevelFull([]design.Factor{
+		design.MustFactor("engine", "row", "column"),
+		design.MustFactor("state", "cold", "hot"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Replicates = reps
+	return &harness.Experiment{
+		Name: "engine x state", Design: d, Responses: []string{"ms"},
+		Run: func(a design.Assignment, rep int) (map[string]float64, error) {
+			v := 100.0
+			if a["engine"] == "column" {
+				v /= 4
+			}
+			if a["state"] == "cold" {
+				v *= 3
+			}
+			return map[string]float64{"ms": v + float64(rep%2)}, nil
+		},
+	}
+}
+
+func fullStudy(t *testing.T) *Study {
+	hw := &sysinfo.HWSpec{
+		CPUVendor: "Intel", CPUModel: "Pentium M", ClockHz: 1.5e9,
+		Caches:   []sysinfo.CacheSpec{{Level: "L2", SizeBytes: 2 << 20}},
+		RAMBytes: 2 << 30,
+		Disks:    []sysinfo.DiskSpec{{Description: "ATA", SizeBytes: 120 << 30}},
+	}
+	sw := &sysinfo.SWSpec{OS: "Linux", Compiler: "gcc 4.1", Flags: "-O2"}
+	suite := &repeat.Suite{
+		Name: "demo", Requirements: []string{"Go"}, Install: "go build",
+		Experiments: []repeat.Experiment{{
+			ID: "e1", Script: "run", OutputPath: "out", ExpectedDuration: time.Second,
+		}},
+	}
+	return &Study{
+		Question:   "which engine is faster, and does cache state interact?",
+		Experiment: demoExperiment(t, 3),
+		Hardware:   hw, Software: sw, Suite: suite,
+	}
+}
+
+func TestConductSoundStudy(t *testing.T) {
+	rep, err := Conduct(fullStudy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sound() {
+		t.Errorf("full study should be sound:\n%s", rep.Text)
+	}
+	for _, want := range []string{"question:", "Pentium M", "variation explained", "methodology checklist", "[ok  ]"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(rep.Checklist) != 6 {
+		t.Errorf("checklist items = %d", len(rep.Checklist))
+	}
+}
+
+func TestConductFlagsGaps(t *testing.T) {
+	s := &Study{Question: "q", Experiment: demoExperiment(t, 1)}
+	rep, err := Conduct(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound() {
+		t.Error("study without replication/spec/suite should not be sound")
+	}
+	missing := 0
+	for _, item := range rep.Checklist {
+		if !item.OK {
+			missing++
+		}
+	}
+	if missing != 4 { // replication, hardware, software, repeatability
+		t.Errorf("missing items = %d: %+v", missing, rep.Checklist)
+	}
+	if !strings.Contains(rep.Text, "MISS") {
+		t.Error("report should mark missing items")
+	}
+}
+
+func TestConductValidation(t *testing.T) {
+	if _, err := Conduct(nil); err == nil {
+		t.Error("nil study should error")
+	}
+	if _, err := Conduct(&Study{Experiment: demoExperiment(t, 1)}); err == nil {
+		t.Error("missing question should error")
+	}
+	if _, err := Conduct(&Study{Question: "q"}); err == nil {
+		t.Error("missing experiment should error")
+	}
+}
+
+func TestConductIncompleteSpecs(t *testing.T) {
+	s := fullStudy(t)
+	s.Hardware.RAMBytes = 0
+	s.Software.Flags = ""
+	s.Suite.Install = ""
+	rep, err := Conduct(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound() {
+		t.Error("incomplete specs should fail the checklist")
+	}
+	var notes []string
+	for _, item := range rep.Checklist {
+		if !item.OK {
+			notes = append(notes, item.Note)
+		}
+	}
+	joined := strings.Join(notes, " | ")
+	for _, want := range []string{"memory", "flags", "install"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q: %s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package design
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// This file extends allocation of variation to replicated 2^k designs,
+// following Jain's treatment (which the paper's design chapter is built
+// on). With r replicates per run the total variation decomposes as
+//
+//	SST = sum_e 2^k r q_e^2  +  SSE
+//
+// where SSE is the variation due to experimental error. The paper's common
+// mistake #1 — "variation due to experimental error is ignored: the
+// variation due to a factor must be compared to that due of errors!" —
+// becomes checkable: an effect whose share is below the error share (or
+// whose confidence interval includes zero) must not be sold as a finding.
+
+// ReplicatedAnalysis is the full analysis of a replicated 2^k experiment.
+type ReplicatedAnalysis struct {
+	Effects    *Effects
+	Replicates int
+	// Variations per effect, including the error share, sorted by
+	// descending fraction.
+	Variations []Variation
+	// ErrorSS and ErrorFraction quantify experimental error.
+	ErrorSS       float64
+	ErrorFraction float64
+	// EffectCI maps each non-identity effect to a confidence interval;
+	// an interval containing zero means the effect is not statistically
+	// significant at the analysis confidence.
+	EffectCI   map[Effect]stats.Interval
+	Confidence float64
+	// ErrorDF is the degrees of freedom of the error term, 2^k (r-1).
+	ErrorDF int
+}
+
+// AnalyzeReplicated performs effect estimation, allocation of variation
+// with an experimental-error term, and effect confidence intervals for a
+// full 2^k sign table with reps[r] holding the replicate observations of
+// run r. Every run needs the same number (>= 2) of replicates.
+func AnalyzeReplicated(st *SignTable, reps [][]float64, confidence float64) (*ReplicatedAnalysis, error) {
+	if st.Runs != 1<<uint(st.K) {
+		return nil, fmt.Errorf("design: replicated analysis needs a full 2^k table")
+	}
+	if len(reps) != st.Runs {
+		return nil, fmt.Errorf("design: %d replicate groups for %d runs", len(reps), st.Runs)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return nil, fmt.Errorf("design: confidence must be in (0,1), got %g", confidence)
+	}
+	r := len(reps[0])
+	if r < 2 {
+		return nil, fmt.Errorf("design: replicated analysis needs >= 2 replicates per run, got %d", r)
+	}
+	for i, g := range reps {
+		if len(g) != r {
+			return nil, fmt.Errorf("design: run %d has %d replicates, others have %d", i+1, len(g), r)
+		}
+	}
+
+	ef, err := EstimateEffectsReplicated(st, reps)
+	if err != nil {
+		return nil, err
+	}
+
+	// SSE: within-run variation around the run means.
+	var sse float64
+	for run, g := range reps {
+		mean := ef.Y[run]
+		for _, y := range g {
+			d := y - mean
+			sse += d * d
+		}
+	}
+	// SST over ALL observations (not just run means).
+	var grand, n float64
+	for _, g := range reps {
+		for _, y := range g {
+			grand += y
+			n++
+		}
+	}
+	grand /= n
+	var sst float64
+	for _, g := range reps {
+		for _, y := range g {
+			d := y - grand
+			sst += d * d
+		}
+	}
+
+	an := &ReplicatedAnalysis{
+		Effects: ef, Replicates: r, ErrorSS: sse, Confidence: confidence,
+		ErrorDF:  st.Runs * (r - 1),
+		EffectCI: make(map[Effect]stats.Interval),
+	}
+	runsTimesReps := float64(st.Runs * r)
+	for _, e := range st.AllEffects() {
+		if e == I {
+			continue
+		}
+		q := ef.Q[e]
+		ss := runsTimesReps * q * q
+		v := Variation{Effect: e, SS: ss}
+		if sst > 0 {
+			v.Fraction = ss / sst
+		}
+		an.Variations = append(an.Variations, v)
+	}
+	if sst > 0 {
+		an.ErrorFraction = sse / sst
+	}
+	sort.Slice(an.Variations, func(i, j int) bool {
+		if an.Variations[i].Fraction != an.Variations[j].Fraction {
+			return an.Variations[i].Fraction > an.Variations[j].Fraction
+		}
+		return an.Variations[i].Effect < an.Variations[j].Effect
+	})
+
+	// Effect standard deviation per Jain: se^2 = SSE / (2^k (r-1)),
+	// s_q = se / sqrt(2^k r); CI = q +/- t(1-alpha/2, df) * s_q.
+	seSq := sse / float64(an.ErrorDF)
+	sq := 0.0
+	if seSq > 0 {
+		sq = math.Sqrt(seSq / runsTimesReps)
+	}
+	tcrit := stats.TQuantile(1-(1-confidence)/2, float64(an.ErrorDF))
+	for _, e := range st.AllEffects() {
+		if e == I {
+			continue
+		}
+		q := ef.Q[e]
+		an.EffectCI[e] = stats.Interval{
+			Mean: q, Lo: q - tcrit*sq, Hi: q + tcrit*sq,
+			Confidence: confidence, N: st.Runs * r,
+		}
+	}
+	return an, nil
+}
+
+// Significant reports whether the effect's confidence interval excludes
+// zero.
+func (an *ReplicatedAnalysis) Significant(e Effect) bool {
+	iv, ok := an.EffectCI[e]
+	return ok && !iv.Contains(0)
+}
+
+// DominatedByError returns the effects whose variation share is below the
+// experimental-error share — exactly the comparison the paper's common
+// mistake #1 demands.
+func (an *ReplicatedAnalysis) DominatedByError() []Effect {
+	var out []Effect
+	for _, v := range an.Variations {
+		if v.Fraction < an.ErrorFraction {
+			out = append(out, v.Effect)
+		}
+	}
+	return out
+}
+
+// String renders the analysis: model, variation table with the error row,
+// and per-effect confidence intervals with significance marks.
+func (an *ReplicatedAnalysis) String() string {
+	var b strings.Builder
+	factors := an.Effects.Table.Factors
+	fmt.Fprintf(&b, "%s  (r=%d replicates)\n", an.Effects.ModelString(), an.Replicates)
+	b.WriteString("variation explained:\n")
+	for _, v := range an.Variations {
+		fmt.Fprintf(&b, "  q%-16s %5.1f%%\n", v.Effect.NameWith(factors), v.Fraction*100)
+	}
+	fmt.Fprintf(&b, "  %-17s %5.1f%%  (experimental error)\n", "error", an.ErrorFraction*100)
+	fmt.Fprintf(&b, "effect confidence intervals (%.0f%%, %d error df):\n", an.Confidence*100, an.ErrorDF)
+	for _, v := range an.Variations {
+		iv := an.EffectCI[v.Effect]
+		mark := " "
+		if an.Significant(v.Effect) {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "  q%-16s %s %s\n", v.Effect.NameWith(factors), iv, mark)
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package design
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// replicatedPaper22 builds the paper's 2^2 responses with 3 replicates of
+// symmetric noise amplitude eps around each true value.
+func replicatedPaper22(eps float64) [][]float64 {
+	y := []float64{15, 25, 45, 75}
+	reps := make([][]float64, 4)
+	for i, v := range y {
+		reps[i] = []float64{v - eps, v + eps, v}
+	}
+	return reps
+}
+
+func TestAnalyzeReplicatedRecoversEffects(t *testing.T) {
+	st, _ := paper22()
+	an, err := AnalyzeReplicated(st, replicatedPaper22(1), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, an.Effects.Q[I], 40, 1e-9, "q0")
+	approx(t, an.Effects.Q[MainEffect(0)], 20, 1e-9, "qA")
+	approx(t, an.Effects.Q[MainEffect(1)], 10, 1e-9, "qB")
+	if an.Replicates != 3 || an.ErrorDF != 4*2 {
+		t.Errorf("r=%d df=%d", an.Replicates, an.ErrorDF)
+	}
+	// SSE = 4 runs * (1 + 1 + 0) = 8.
+	approx(t, an.ErrorSS, 8, 1e-9, "SSE")
+	// With tiny noise every effect dwarfs the error and is significant.
+	for _, e := range []Effect{MainEffect(0), MainEffect(1), MainEffect(0).Mul(MainEffect(1))} {
+		if !an.Significant(e) {
+			t.Errorf("effect %s should be significant with eps=1", e)
+		}
+	}
+	if len(an.DominatedByError()) != 0 {
+		t.Errorf("no effect should be error-dominated: %v", an.DominatedByError())
+	}
+	out := an.String()
+	for _, want := range []string{"experimental error", "confidence intervals", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeReplicatedNoiseDominates(t *testing.T) {
+	// Constant true response + huge noise: everything is error.
+	st, _ := paper22()
+	reps := [][]float64{
+		{10, 90, 50}, {20, 80, 50}, {15, 85, 50}, {25, 75, 50},
+	}
+	an, err := AnalyzeReplicated(st, reps, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.ErrorFraction < 0.9 {
+		t.Errorf("error fraction = %.2f, want > 0.9", an.ErrorFraction)
+	}
+	for _, e := range []Effect{MainEffect(0), MainEffect(1)} {
+		if an.Significant(e) {
+			t.Errorf("effect %s should NOT be significant under pure noise", e)
+		}
+	}
+	if len(an.DominatedByError()) != 3 {
+		t.Errorf("all 3 effects should be error-dominated, got %v", an.DominatedByError())
+	}
+}
+
+func TestAnalyzeReplicatedVariationSums(t *testing.T) {
+	st, _ := paper22()
+	an, err := AnalyzeReplicated(st, replicatedPaper22(2), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := an.ErrorFraction
+	for _, v := range an.Variations {
+		total += v.Fraction
+	}
+	approx(t, total, 1, 1e-9, "fractions including error sum to 1")
+}
+
+func TestAnalyzeReplicatedErrors(t *testing.T) {
+	st, _ := paper22()
+	good := replicatedPaper22(1)
+	cases := []struct {
+		name string
+		reps [][]float64
+		conf float64
+	}{
+		{"wrong group count", good[:3], 0.95},
+		{"single replicate", [][]float64{{1}, {2}, {3}, {4}}, 0.95},
+		{"ragged groups", [][]float64{{1, 2}, {1, 2}, {1, 2}, {1, 2, 3}}, 0.95},
+		{"bad confidence", good, 1.5},
+	}
+	for _, c := range cases {
+		if _, err := AnalyzeReplicated(st, c.reps, c.conf); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Fractional table rejected.
+	factors := letterFactors(4)
+	g, _ := ParseGenerator("D=ABC")
+	fr, _ := NewFractional(factors, []Generator{g})
+	reps := make([][]float64, 8)
+	for i := range reps {
+		reps[i] = []float64{1, 2}
+	}
+	if _, err := AnalyzeReplicated(fr.Table, reps, 0.95); err == nil {
+		t.Error("fractional table should be rejected")
+	}
+}
+
+func TestAnalyzeReplicatedZeroVariance(t *testing.T) {
+	// All observations identical: no variation anywhere, nothing
+	// significant, no NaNs.
+	st, _ := paper22()
+	reps := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	an, err := AnalyzeReplicated(st, reps, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.ErrorFraction != 0 {
+		t.Errorf("error fraction = %g", an.ErrorFraction)
+	}
+	for _, v := range an.Variations {
+		if v.Fraction != 0 {
+			t.Errorf("fraction %g for %s", v.Fraction, v.Effect)
+		}
+		iv := an.EffectCI[v.Effect]
+		if iv.Lo != 0 || iv.Hi != 0 {
+			t.Errorf("CI for %s = %v, want degenerate zero", v.Effect, iv)
+		}
+	}
+}
+
+// Property: with symmetric replicate noise the estimated effects equal the
+// noiseless estimates exactly, and fractions stay in [0,1].
+func TestAnalyzeReplicatedQuick(t *testing.T) {
+	st, _ := paper22()
+	f := func(q0, qa, qb int8, epsRaw uint8) bool {
+		eps := float64(epsRaw%50) + 1
+		y := make([]float64, 4)
+		for r := 0; r < 4; r++ {
+			y[r] = float64(q0) + float64(qa)*st.Sign(r, MainEffect(0)) + float64(qb)*st.Sign(r, MainEffect(1))
+		}
+		reps := make([][]float64, 4)
+		for r := range reps {
+			reps[r] = []float64{y[r] - eps, y[r] + eps}
+		}
+		an, err := AnalyzeReplicated(st, reps, 0.9)
+		if err != nil {
+			return false
+		}
+		if an.Effects.Q[MainEffect(0)] != float64(qa) || an.Effects.Q[MainEffect(1)] != float64(qb) {
+			return false
+		}
+		total := an.ErrorFraction
+		for _, v := range an.Variations {
+			if v.Fraction < 0 || v.Fraction > 1 {
+				return false
+			}
+			total += v.Fraction
+		}
+		return total < 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

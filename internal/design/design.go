@@ -1,0 +1,177 @@
+package design
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the classical design families the paper surveys.
+type Kind int
+
+const (
+	// KindSimple varies one factor at a time around a base configuration
+	// (n = 1 + sum(ni - 1) experiments). Cheap, but cannot identify
+	// interactions — the paper lists relying on it as common mistake #4.
+	KindSimple Kind = iota
+	// KindFullFactorial tests all level combinations (n = prod ni).
+	KindFullFactorial
+	// KindTwoLevel is the 2^k design over two-level factors, "very
+	// useful for a first-cut analysis".
+	KindTwoLevel
+	// KindFractional is a 2^(k-p) fractional factorial design.
+	KindFractional
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSimple:
+		return "simple (one-at-a-time)"
+	case KindFullFactorial:
+		return "full factorial"
+	case KindTwoLevel:
+		return "2^k factorial"
+	case KindFractional:
+		return "2^(k-p) fractional factorial"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Design is a concrete experiment plan: for each run (row), the level index
+// chosen for each factor.
+type Design struct {
+	Kind    Kind
+	Factors []Factor
+	// Rows[r][f] is the level index of factor f in run r.
+	Rows [][]int
+	// Replicates is how many times each run is to be repeated (>= 1).
+	Replicates int
+}
+
+// NumRuns returns the number of distinct factor-level combinations.
+func (d *Design) NumRuns() int { return len(d.Rows) }
+
+// TotalExperiments returns runs x replicates.
+func (d *Design) TotalExperiments() int { return len(d.Rows) * d.Replicates }
+
+// Assignment materializes row r as factor-name -> level-value.
+func (d *Design) Assignment(r int) (Assignment, error) {
+	if r < 0 || r >= len(d.Rows) {
+		return nil, fmt.Errorf("design: row %d out of range [0,%d)", r, len(d.Rows))
+	}
+	a := make(Assignment, len(d.Factors))
+	for f, fac := range d.Factors {
+		li := d.Rows[r][f]
+		if li < 0 || li >= len(fac.Levels) {
+			return nil, fmt.Errorf("design: row %d: level index %d out of range for factor %q", r, li, fac.Name)
+		}
+		a[fac.Name] = fac.Levels[li]
+	}
+	return a, nil
+}
+
+// String renders the design as the aligned run table the paper draws.
+func (d *Design) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s design: %d factors, %d runs x %d replicates\n",
+		d.Kind, len(d.Factors), d.NumRuns(), d.Replicates)
+	// Header.
+	b.WriteString("run")
+	for _, f := range d.Factors {
+		fmt.Fprintf(&b, "\t%s", f.Name)
+	}
+	b.WriteByte('\n')
+	for r, row := range d.Rows {
+		fmt.Fprintf(&b, "%d", r+1)
+		for f, li := range row {
+			fmt.Fprintf(&b, "\t%s", d.Factors[f].Levels[li])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func validateFactors(factors []Factor) error {
+	if len(factors) == 0 {
+		return fmt.Errorf("design: need at least one factor")
+	}
+	seen := make(map[string]bool, len(factors))
+	for _, f := range factors {
+		if f.Name == "" || len(f.Levels) < 2 {
+			return fmt.Errorf("design: invalid factor %+v (use NewFactor)", f)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("design: duplicate factor %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return nil
+}
+
+// Simple builds a one-at-a-time design: a base run with every factor at
+// level 0, then each factor varied through its remaining levels while the
+// others stay at the base. Requires 1 + sum(ni - 1) runs.
+func Simple(factors []Factor) (*Design, error) {
+	if err := validateFactors(factors); err != nil {
+		return nil, err
+	}
+	d := &Design{Kind: KindSimple, Factors: factors, Replicates: 1}
+	base := make([]int, len(factors))
+	d.Rows = append(d.Rows, append([]int(nil), base...))
+	for f, fac := range factors {
+		for li := 1; li < len(fac.Levels); li++ {
+			row := append([]int(nil), base...)
+			row[f] = li
+			d.Rows = append(d.Rows, row)
+		}
+	}
+	return d, nil
+}
+
+// FullFactorial builds the all-combinations design with prod(ni) runs,
+// varying the last factor fastest.
+func FullFactorial(factors []Factor) (*Design, error) {
+	if err := validateFactors(factors); err != nil {
+		return nil, err
+	}
+	total := 1
+	for _, f := range factors {
+		total *= len(f.Levels)
+		if total > 1<<22 {
+			return nil, fmt.Errorf("design: full factorial over %d factors exceeds %d runs; use a fractional design", len(factors), 1<<22)
+		}
+	}
+	d := &Design{Kind: KindFullFactorial, Factors: factors, Replicates: 1}
+	row := make([]int, len(factors))
+	for i := 0; i < total; i++ {
+		d.Rows = append(d.Rows, append([]int(nil), row...))
+		// Increment mixed-radix counter, last factor fastest.
+		for f := len(factors) - 1; f >= 0; f-- {
+			row[f]++
+			if row[f] < len(factors[f].Levels) {
+				break
+			}
+			row[f] = 0
+		}
+	}
+	return d, nil
+}
+
+// TwoLevelFull builds the 2^k design over two-level factors. Row order
+// matches the canonical sign table: the last factor alternates fastest.
+func TwoLevelFull(factors []Factor) (*Design, error) {
+	if err := validateFactors(factors); err != nil {
+		return nil, err
+	}
+	for _, f := range factors {
+		if !f.TwoLevel() {
+			return nil, fmt.Errorf("design: 2^k design requires two-level factors; %q has %d levels", f.Name, len(f.Levels))
+		}
+	}
+	d, err := FullFactorial(factors)
+	if err != nil {
+		return nil, err
+	}
+	d.Kind = KindTwoLevel
+	return d, nil
+}

@@ -1,0 +1,107 @@
+package design
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoByTwo is a 2x2 response table over factors A and B, in the layout of
+// the paper's interaction example (slide 58):
+//
+//	      A1    A2
+//	B1   y11   y21
+//	B2   y12   y22
+type TwoByTwo struct {
+	A, B Factor
+	// Y[i][j] is the response at B level i, A level j.
+	Y [2][2]float64
+}
+
+// EffectOfAAt returns the change in response when A moves from level 1 to
+// level 2, at B level i (0-based).
+func (t TwoByTwo) EffectOfAAt(bLevel int) float64 {
+	return t.Y[bLevel][1] - t.Y[bLevel][0]
+}
+
+// InteractionMagnitude returns how much the effect of A depends on the
+// level of B: zero means no interaction.
+func (t TwoByTwo) InteractionMagnitude() float64 {
+	return t.EffectOfAAt(1) - t.EffectOfAAt(0)
+}
+
+// Interacts reports whether the two factors interact beyond tolerance tol:
+// the paper's definition "two factors interact if the effect of one depends
+// on the level of another".
+func (t TwoByTwo) Interacts(tol float64) bool {
+	return math.Abs(t.InteractionMagnitude()) > tol
+}
+
+// Responses returns the four responses in canonical 2^2 sign-table run
+// order (A low B low; A low B high; A high B low; A high B high) for the
+// table built by NewSignTable over factors [A, B] with the last factor
+// alternating fastest.
+func (t TwoByTwo) Responses() []float64 {
+	return []float64{t.Y[0][0], t.Y[1][0], t.Y[0][1], t.Y[1][1]}
+}
+
+// Effects estimates the 2^2 factorial effects of the table.
+func (t TwoByTwo) Effects() (*Effects, error) {
+	st, err := NewSignTable([]Factor{t.A, t.B})
+	if err != nil {
+		return nil, err
+	}
+	return EstimateEffects(st, t.Responses())
+}
+
+// String renders the table in the paper's layout.
+func (t TwoByTwo) String() string {
+	return fmt.Sprintf("\t%s=%s\t%s=%s\n%s=%s\t%g\t%g\n%s=%s\t%g\t%g\n",
+		t.A.Name, t.A.Levels[0], t.A.Name, t.A.Levels[1],
+		t.B.Name, t.B.Levels[0], t.Y[0][0], t.Y[0][1],
+		t.B.Name, t.B.Levels[1], t.Y[1][0], t.Y[1][1])
+}
+
+// CommonMistake enumerates the experiment-design mistakes the paper lists
+// (slide 59); Diagnose checks a proposed design for the detectable ones.
+type CommonMistake int
+
+const (
+	// MistakeIgnoredError : variation due to experimental error is
+	// ignored (no replication).
+	MistakeIgnoredError CommonMistake = iota
+	// MistakeOneAtATime : simple one-at-a-time design where a factorial
+	// design would reveal interactions at comparable cost.
+	MistakeOneAtATime
+	// MistakeTooManyExperiments : an enormous full factorial where a
+	// fractional or two-stage approach would do.
+	MistakeTooManyExperiments
+)
+
+func (m CommonMistake) String() string {
+	switch m {
+	case MistakeIgnoredError:
+		return "variation due to experimental error is ignored (no replication)"
+	case MistakeOneAtATime:
+		return "one-at-a-time design cannot identify interactions"
+	case MistakeTooManyExperiments:
+		return "too many experiments; run a 2^k or 2^(k-p) first-cut design instead"
+	default:
+		return fmt.Sprintf("CommonMistake(%d)", int(m))
+	}
+}
+
+// Diagnose inspects a design for the paper's detectable common mistakes.
+// tooMany is the experiment budget above which a full design is flagged.
+func Diagnose(d *Design, tooMany int) []CommonMistake {
+	var out []CommonMistake
+	if d.Replicates < 2 {
+		out = append(out, MistakeIgnoredError)
+	}
+	if d.Kind == KindSimple && len(d.Factors) >= 2 {
+		out = append(out, MistakeOneAtATime)
+	}
+	if tooMany > 0 && d.TotalExperiments() > tooMany && d.Kind == KindFullFactorial {
+		out = append(out, MistakeTooManyExperiments)
+	}
+	return out
+}

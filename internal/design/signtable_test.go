@@ -1,0 +1,221 @@
+package design
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func twoFactors() []Factor {
+	return []Factor{
+		MustFactor("A", "A1", "A2"),
+		MustFactor("B", "B1", "B2"),
+	}
+}
+
+func TestEffectAlgebra(t *testing.T) {
+	a, b := MainEffect(0), MainEffect(1)
+	ab := a.Mul(b)
+	if ab.String() != "AB" {
+		t.Errorf("AB = %q", ab.String())
+	}
+	if a.Mul(a) != I {
+		t.Error("A*A should be I")
+	}
+	if ab.Mul(a) != b {
+		t.Error("AB*A should be B")
+	}
+	if ab.Order() != 2 || a.Order() != 1 || I.Order() != 0 {
+		t.Error("orders wrong")
+	}
+	if I.String() != "I" {
+		t.Errorf("I = %q", I.String())
+	}
+}
+
+func TestParseEffect(t *testing.T) {
+	e, err := ParseEffect("ABC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != MainEffect(0)|MainEffect(1)|MainEffect(2) {
+		t.Errorf("ABC = %v", e)
+	}
+	if _, err := ParseEffect(""); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := ParseEffect("A1"); err == nil {
+		t.Error("digit should error")
+	}
+	if _, err := ParseEffect("AA"); err == nil {
+		t.Error("repeated factor should error")
+	}
+	i, err := ParseEffect("i")
+	if err != nil || i != I {
+		t.Errorf("parse I = %v, %v", i, err)
+	}
+}
+
+func TestEffectNameWith(t *testing.T) {
+	factors := []Factor{MustFactor("memory", "4", "16"), MustFactor("cache", "1", "2")}
+	e := MainEffect(0).Mul(MainEffect(1))
+	if got := e.NameWith(factors); got != "memory*cache" {
+		t.Errorf("NameWith = %q", got)
+	}
+	if got := I.NameWith(factors); got != "I" {
+		t.Errorf("NameWith(I) = %q", got)
+	}
+}
+
+// TestSignTable22 pins the canonical 2^2 sign table from paper slide 74:
+//
+//	Experiment  A   B   AB
+//	1          -1  -1    1
+//	2           1  -1   -1   (our row order: last factor fastest, so
+//	3          -1   1   -1    rows 2 and 3 swap vs the paper; the set
+//	4           1   1    1    of rows is identical)
+func TestSignTable22(t *testing.T) {
+	st, err := NewSignTable(twoFactors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 4 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+	a, b := MainEffect(0), MainEffect(1)
+	wantA := []float64{-1, -1, 1, 1}
+	wantB := []float64{-1, 1, -1, 1}
+	for r := 0; r < 4; r++ {
+		if st.Sign(r, a) != wantA[r] {
+			t.Errorf("A[%d] = %g, want %g", r, st.Sign(r, a), wantA[r])
+		}
+		if st.Sign(r, b) != wantB[r] {
+			t.Errorf("B[%d] = %g, want %g", r, st.Sign(r, b), wantB[r])
+		}
+		if st.Sign(r, a.Mul(b)) != wantA[r]*wantB[r] {
+			t.Errorf("AB[%d] inconsistent", r)
+		}
+		if st.Sign(r, I) != 1 {
+			t.Errorf("I[%d] != 1", r)
+		}
+	}
+}
+
+func TestSignTableProperties(t *testing.T) {
+	factors := []Factor{
+		MustFactor("A", "-", "+"), MustFactor("B", "-", "+"), MustFactor("C", "-", "+"),
+	}
+	st, err := NewSignTable(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effects := st.AllEffects()
+	if len(effects) != 8 {
+		t.Fatalf("effects = %d", len(effects))
+	}
+	for _, e := range effects {
+		if e == I {
+			if st.ZeroSum(e) {
+				t.Error("I column must not be zero-sum")
+			}
+			continue
+		}
+		if !st.ZeroSum(e) {
+			t.Errorf("column %s should sum to zero", e)
+		}
+	}
+	for i, e1 := range effects {
+		for _, e2 := range effects[i+1:] {
+			if !st.Orthogonal(e1, e2) {
+				t.Errorf("columns %s and %s should be orthogonal", e1, e2)
+			}
+		}
+	}
+}
+
+func TestSignTableValidation(t *testing.T) {
+	if _, err := NewSignTable(nil); err == nil {
+		t.Error("no factors should error")
+	}
+	if _, err := NewSignTable([]Factor{MustFactor("x", "a", "b", "c")}); err == nil {
+		t.Error("3-level factor should error")
+	}
+	var many []Factor
+	for i := 0; i < 21; i++ {
+		many = append(many, MustFactor(string(rune('a'+i)), "0", "1"))
+	}
+	if _, err := NewSignTable(many); err == nil {
+		t.Error("21 factors should error")
+	}
+}
+
+func TestSignTableDesignRoundTrip(t *testing.T) {
+	st, _ := NewSignTable(twoFactors())
+	d := st.Design()
+	if d.Kind != KindTwoLevel || d.NumRuns() != 4 {
+		t.Errorf("design = %v runs %d", d.Kind, d.NumRuns())
+	}
+	for r := 0; r < 4; r++ {
+		for f := 0; f < 2; f++ {
+			if d.Rows[r][f] != st.LevelIndex(r, f) {
+				t.Errorf("row %d factor %d mismatch", r, f)
+			}
+		}
+	}
+}
+
+func TestSignTableString(t *testing.T) {
+	st, _ := NewSignTable(twoFactors())
+	s := st.String()
+	for _, want := range []string{"I", "A", "B", "AB", "+1", "-1"} {
+		if !containsStr(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && (func() bool {
+		for i := 0; i+len(needle) <= len(haystack); i++ {
+			if haystack[i:i+len(needle)] == needle {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestDotErrors(t *testing.T) {
+	st, _ := NewSignTable(twoFactors())
+	if _, err := st.Dot(I, []float64{1, 2}); err == nil {
+		t.Error("short y should error")
+	}
+}
+
+// Property: for any k in [1,6] and any effect pair, non-identity columns
+// are zero-sum and distinct effects are orthogonal.
+func TestSignTableOrthogonalityQuick(t *testing.T) {
+	f := func(kRaw, e1Raw, e2Raw uint8) bool {
+		k := 1 + int(kRaw%6)
+		var factors []Factor
+		for i := 0; i < k; i++ {
+			factors = append(factors, MustFactor(string(rune('A'+i)), "-", "+"))
+		}
+		st, err := NewSignTable(factors)
+		if err != nil {
+			return false
+		}
+		mask := (1 << uint(k)) - 1
+		e1 := Effect(int(e1Raw) & mask)
+		e2 := Effect(int(e2Raw) & mask)
+		if e1 != I && !st.ZeroSum(e1) {
+			return false
+		}
+		if e1 != e2 && !st.Orthogonal(e1, e2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

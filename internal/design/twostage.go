@@ -1,0 +1,88 @@
+package design
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TwoStage implements the paper's recommended two-stage approach:
+// "First experiments help identify meaningful factors and levels; then
+// conduct detailed experiments."
+//
+// Stage one runs a cheap 2^k (or 2^(k-p)) screening design over extreme
+// levels; ScreeningReport ranks factors by the variation they explain so
+// stage two can refine levels of the important ones only.
+type TwoStage struct {
+	// Threshold is the minimum variation fraction for a factor (including
+	// its interactions) to count as important. A common choice is 0.05.
+	Threshold float64
+}
+
+// FactorImportance aggregates, per factor, the variation explained by its
+// main effect and by every interaction it participates in.
+type FactorImportance struct {
+	FactorIndex int
+	Factor      Factor
+	MainOnly    float64 // fraction from the main effect alone
+	Total       float64 // fraction from main effect + all interactions involving it
+}
+
+// Screen ranks factors from the estimated effects of a stage-one design.
+func (ts TwoStage) Screen(ef *Effects) []FactorImportance {
+	vars := ef.AllocateVariation()
+	k := ef.Table.K
+	out := make([]FactorImportance, k)
+	for f := 0; f < k; f++ {
+		out[f] = FactorImportance{FactorIndex: f, Factor: ef.Table.Factors[f]}
+	}
+	for _, v := range vars {
+		for f := 0; f < k; f++ {
+			if !v.Effect.Contains(f) {
+				continue
+			}
+			out[f].Total += v.Fraction
+			if v.Effect.Order() == 1 {
+				out[f].MainOnly += v.Fraction
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// ImportantFactors returns the factors whose total explained variation
+// meets the threshold, in descending importance — the inputs to the
+// detailed stage-two design.
+func (ts TwoStage) ImportantFactors(ef *Effects) []Factor {
+	var out []Factor
+	for _, fi := range ts.Screen(ef) {
+		if fi.Total >= ts.Threshold {
+			out = append(out, fi.Factor)
+		}
+	}
+	return out
+}
+
+// RefinePlan builds the stage-two design: a full factorial over the
+// important factors with the supplied refined levels (levels[name] replaces
+// the screening levels). Factors screened out keep no place in the design;
+// the caller pins them at a base level.
+func (ts TwoStage) RefinePlan(ef *Effects, levels map[string][]string) (*Design, error) {
+	important := ts.ImportantFactors(ef)
+	if len(important) == 0 {
+		return nil, fmt.Errorf("design: no factor explains >= %.0f%% of variation; reconsider factors or levels", ts.Threshold*100)
+	}
+	refined := make([]Factor, 0, len(important))
+	for _, f := range important {
+		if lv, ok := levels[f.Name]; ok {
+			nf, err := NewFactor(f.Name, lv...)
+			if err != nil {
+				return nil, fmt.Errorf("design: refined levels for %q: %w", f.Name, err)
+			}
+			refined = append(refined, nf)
+		} else {
+			refined = append(refined, f)
+		}
+	}
+	return FullFactorial(refined)
+}

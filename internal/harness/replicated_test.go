@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/design"
+)
+
+func TestAnalyzeReplicatedThroughHarness(t *testing.T) {
+	e := paperExperiment(t, 3)
+	rs, err := Execute(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := rs.AnalyzeReplicated("MIPS", 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Effects.Q[design.I] != 40 {
+		t.Errorf("q0 = %g", an.Effects.Q[design.I])
+	}
+	// With tiny replicate noise every effect is significant and the
+	// error share is small.
+	if an.ErrorFraction > 0.01 {
+		t.Errorf("error fraction = %g", an.ErrorFraction)
+	}
+	for _, eff := range []design.Effect{design.MainEffect(0), design.MainEffect(1)} {
+		if !an.Significant(eff) {
+			t.Errorf("effect %s should be significant", eff)
+		}
+	}
+	// The report embeds the replicated analysis with factor names and
+	// the experimental-error row.
+	report := rs.Report()
+	for _, want := range []string{"experimental error", "qmemory", "confidence intervals"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestAnalyzeReplicatedNeedsReplicates(t *testing.T) {
+	rs, err := Execute(paperExperiment(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.AnalyzeReplicated("MIPS", 0.95); err == nil {
+		t.Error("single replicate should error")
+	}
+}
+
+func TestAnalyzeReplicatedNeedsTwoLevel(t *testing.T) {
+	d, _ := design.Simple([]design.Factor{
+		design.MustFactor("a", "x", "y"),
+		design.MustFactor("b", "x", "y"),
+	})
+	d.Replicates = 2
+	e := &Experiment{Name: "simple", Design: d, Responses: []string{"r"},
+		Run: func(design.Assignment, int) (map[string]float64, error) {
+			return map[string]float64{"r": 1}, nil
+		}}
+	rs, err := Execute(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.AnalyzeReplicated("r", 0.95); err == nil {
+		t.Error("simple design should error")
+	}
+}

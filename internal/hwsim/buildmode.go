@@ -1,0 +1,105 @@
+package hwsim
+
+import "fmt"
+
+// BuildMode models the compiler-flag anecdote of the paper's "Of apples and
+// oranges" chapter: the same engine compiled with debugging
+// (--enable-debug --disable-optimize --enable-assert) versus optimization
+// (--disable-debug --enable-optimize --disable-assert) differs by up to a
+// factor 2, and the factor varies per query because the debug overhead is
+// per-tuple work whose share of total time depends on the plan shape.
+type BuildMode int
+
+const (
+	// Optimized is the -O6 ... -DNDEBUG build: no per-tuple assertion
+	// work, inlined hot paths.
+	Optimized BuildMode = iota
+	// Debug is the -g -O0 assertion-enabled build.
+	Debug
+)
+
+func (b BuildMode) String() string {
+	if b == Debug {
+		return "DBG"
+	}
+	return "OPT"
+}
+
+// OverheadFactors are the per-operator-class multipliers a Debug build
+// applies to CPU work. Different operator classes suffer differently
+// (assertion density and inlining opportunity differ), which is what makes
+// the DBG/OPT ratio query-dependent in the paper's figure.
+type OverheadFactors struct {
+	Scan      float64 // sequential scans: tight loops inline well -> big OPT win
+	Filter    float64 // predicate evaluation
+	Join      float64 // hash probe/build
+	Aggregate float64 // grouped aggregation
+	Sort      float64 // comparison sorting
+	Project   float64 // expression projection
+}
+
+// DefaultDebugOverheads reflect the paper's observed range: the overall
+// DBG/OPT ratio across TPC-H queries lands between ~1.1 and ~2.2.
+var DefaultDebugOverheads = OverheadFactors{
+	Scan:      2.4,
+	Filter:    2.0,
+	Join:      1.7,
+	Aggregate: 1.9,
+	Sort:      1.4,
+	Project:   2.1,
+}
+
+// OpClass identifies the operator class for build-mode overhead lookup.
+type OpClass int
+
+const (
+	OpScan OpClass = iota
+	OpFilter
+	OpJoin
+	OpAggregate
+	OpSort
+	OpProject
+)
+
+func (o OpClass) String() string {
+	switch o {
+	case OpScan:
+		return "scan"
+	case OpFilter:
+		return "filter"
+	case OpJoin:
+		return "join"
+	case OpAggregate:
+		return "aggregate"
+	case OpSort:
+		return "sort"
+	case OpProject:
+		return "project"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(o))
+	}
+}
+
+// Factor returns the CPU-work multiplier for an operator class under the
+// build mode: 1.0 when Optimized, the class's overhead when Debug.
+func (b BuildMode) Factor(f OverheadFactors, op OpClass) float64 {
+	if b == Optimized {
+		return 1
+	}
+	switch op {
+	case OpScan:
+		return f.Scan
+	case OpFilter:
+		return f.Filter
+	case OpJoin:
+		return f.Join
+	case OpAggregate:
+		return f.Aggregate
+	case OpSort:
+		return f.Sort
+	case OpProject:
+		return f.Project
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,62 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// coarseClock ticks in 10ms quanta — the paper's "resolution can be as low
+// as 10 milliseconds" scenario.
+type coarseClock struct{ reads int }
+
+func (c *coarseClock) Now() time.Duration {
+	c.reads++
+	return time.Duration(c.reads) * 10 * time.Millisecond
+}
+
+func TestResolutionWarningFires(t *testing.T) {
+	c := &coarseClock{}
+	p := Protocol{Clock: c, State: Hot, Runs: 2, Pick: PickLast, CheckResolution: true}
+	// The target does nothing; each run spans exactly one clock quantum.
+	res, err := p.Run(TargetFuncs{RunFunc: func() error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) == 0 {
+		t.Fatal("10ms-quantum clock with ~10ms runs should warn")
+	}
+	if !strings.Contains(res.Warnings[0], "resolution") {
+		t.Errorf("warning = %q", res.Warnings[0])
+	}
+}
+
+func TestResolutionWarningAbsentForLongRuns(t *testing.T) {
+	// A fine-grained fake clock: each run advances 10s, resolution 1ms.
+	fc := &fakeClock{}
+	p := Protocol{Clock: fc, State: Hot, Runs: 2, Pick: PickLast, CheckResolution: true}
+	res, err := p.Run(TargetFuncs{RunFunc: func() error {
+		fc.cpu += 10 * time.Second
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EstimateResolution on fakeClock returns 0 (frozen between
+	// explicit advances), so no warnings can fire.
+	if len(res.Warnings) != 0 {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+}
+
+func TestResolutionCheckOffByDefault(t *testing.T) {
+	c := &coarseClock{}
+	p := Protocol{Clock: c, State: Hot, Runs: 1, Pick: PickLast}
+	res, err := p.Run(TargetFuncs{RunFunc: func() error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("unchecked protocol produced warnings: %v", res.Warnings)
+	}
+}

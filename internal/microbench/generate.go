@@ -1,0 +1,224 @@
+// Package microbench implements the paper's micro-benchmark chapter: a
+// "specialized, stand-alone piece of software isolating one particular
+// piece of a larger system", with exactly the knobs the paper credits
+// micro-benchmarks for — controllable data size, value ranges and
+// distributions, correlation, and predicate selectivity — plus a sweep
+// harness that measures one vdb operator across a parameter range.
+package microbench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/vdb"
+)
+
+// rng is the repository's splitmix64 PRNG.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// Distribution generates deterministic value streams.
+type Distribution interface {
+	// Name identifies the distribution in reports.
+	Name() string
+	// Gen produces n values with the given seed.
+	Gen(n int, seed uint64) []float64
+}
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Name implements Distribution.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Gen implements Distribution.
+func (u Uniform) Gen(n int, seed uint64) []float64 {
+	r := &rng{state: seed}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = u.Lo + r.float()*(u.Hi-u.Lo)
+	}
+	return out
+}
+
+// Normal draws from N(Mean, StdDev^2) via Box-Muller.
+type Normal struct{ Mean, StdDev float64 }
+
+// Name implements Distribution.
+func (d Normal) Name() string { return fmt.Sprintf("normal(%g,%g)", d.Mean, d.StdDev) }
+
+// Gen implements Distribution.
+func (d Normal) Gen(n int, seed uint64) []float64 {
+	r := &rng{state: seed}
+	out := make([]float64, n)
+	for i := 0; i < n; i += 2 {
+		u1, u2 := r.float(), r.float()
+		if u1 < 1e-300 {
+			u1 = 1e-300
+		}
+		mag := math.Sqrt(-2 * math.Log(u1))
+		out[i] = d.Mean + d.StdDev*mag*math.Cos(2*math.Pi*u2)
+		if i+1 < n {
+			out[i+1] = d.Mean + d.StdDev*mag*math.Sin(2*math.Pi*u2)
+		}
+	}
+	return out
+}
+
+// Zipf draws ranks 1..N with P(k) proportional to 1/k^S — the skewed
+// distribution behind realistic value-frequency modeling. S must be
+// positive; S around 1 is the classical Zipf.
+type Zipf struct {
+	N int
+	S float64
+}
+
+// Name implements Distribution.
+func (z Zipf) Name() string { return fmt.Sprintf("zipf(N=%d,s=%g)", z.N, z.S) }
+
+// Gen implements Distribution: inverse-CDF sampling over the precomputed
+// cumulative weights.
+func (z Zipf) Gen(n int, seed uint64) []float64 {
+	if z.N < 1 {
+		return nil
+	}
+	cdf := make([]float64, z.N)
+	var total float64
+	for k := 1; k <= z.N; k++ {
+		total += 1 / math.Pow(float64(k), z.S)
+		cdf[k-1] = total
+	}
+	r := &rng{state: seed}
+	out := make([]float64, n)
+	for i := range out {
+		target := r.float() * total
+		idx := sort.SearchFloat64s(cdf, target)
+		if idx >= z.N {
+			idx = z.N - 1
+		}
+		out[i] = float64(idx + 1)
+	}
+	return out
+}
+
+// Correlated derives a second column y = Slope*x + noise, with the noise
+// amplitude controlling the correlation strength (Noise 0: perfectly
+// correlated; large Noise: nearly independent).
+type Correlated struct {
+	Slope float64
+	Noise float64 // standard deviation of added normal noise
+}
+
+// Gen derives the correlated column from base values.
+func (c Correlated) Gen(base []float64, seed uint64) []float64 {
+	noise := Normal{Mean: 0, StdDev: c.Noise}.Gen(len(base), seed)
+	out := make([]float64, len(base))
+	for i, x := range base {
+		out[i] = c.Slope*x + noise[i]
+	}
+	return out
+}
+
+// Pearson computes the sample correlation coefficient of two equal-length
+// columns (NaN for degenerate input).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	n := float64(len(x))
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// TableSpec declares a synthetic micro-benchmark table.
+type TableSpec struct {
+	Name string
+	Rows int
+	Cols []ColSpec
+}
+
+// ColSpec declares one column: either a Distribution or a correlation with
+// a previously declared column.
+type ColSpec struct {
+	Name string
+	Dist Distribution
+	// CorrelateWith derives the column from another column of this table
+	// via Corr (Dist must be nil).
+	CorrelateWith string
+	Corr          Correlated
+}
+
+// Build materializes the table deterministically from the seed.
+func (ts TableSpec) Build(seed uint64) (*vdb.Table, error) {
+	if ts.Rows <= 0 {
+		return nil, fmt.Errorf("microbench: table %q needs rows > 0", ts.Name)
+	}
+	if len(ts.Cols) == 0 {
+		return nil, fmt.Errorf("microbench: table %q needs columns", ts.Name)
+	}
+	built := map[string][]float64{}
+	var cols []*vdb.Column
+	for i, cs := range ts.Cols {
+		var vals []float64
+		switch {
+		case cs.Dist != nil:
+			vals = cs.Dist.Gen(ts.Rows, seed+uint64(i)*0x9e37)
+		case cs.CorrelateWith != "":
+			base, ok := built[cs.CorrelateWith]
+			if !ok {
+				return nil, fmt.Errorf("microbench: column %q correlates with unknown column %q", cs.Name, cs.CorrelateWith)
+			}
+			vals = cs.Corr.Gen(base, seed+uint64(i)*0x85eb)
+		default:
+			return nil, fmt.Errorf("microbench: column %q needs a distribution or a correlation", cs.Name)
+		}
+		built[cs.Name] = vals
+		cols = append(cols, vdb.NewFloatColumn(cs.Name, vals))
+	}
+	return vdb.NewTable(ts.Name, cols...)
+}
+
+// SelectivityThreshold returns the predicate constant c such that
+// "col < c" selects approximately the given fraction of rows (exact up to
+// ties), using the empirical quantile of the column.
+func SelectivityThreshold(vals []float64, selectivity float64) (float64, error) {
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("microbench: empty column")
+	}
+	if selectivity < 0 || selectivity > 1 {
+		return 0, fmt.Errorf("microbench: selectivity %g outside [0,1]", selectivity)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := int(selectivity * float64(len(sorted)))
+	if idx >= len(sorted) {
+		return sorted[len(sorted)-1] + 1, nil
+	}
+	return sorted[idx], nil
+}

@@ -1,0 +1,262 @@
+package microbench
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/plot"
+	"repro/internal/vdb"
+)
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 10, Hi: 20}
+	vals := u.Gen(10000, 7)
+	var sum float64
+	for _, v := range vals {
+		if v < 10 || v >= 20 {
+			t.Fatalf("value %g outside [10,20)", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	if mean < 14.8 || mean > 15.2 {
+		t.Errorf("uniform mean = %g, want ~15", mean)
+	}
+	if u.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestNormal(t *testing.T) {
+	d := Normal{Mean: 100, StdDev: 5}
+	vals := d.Gen(20001, 3) // odd n exercises the tail element
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	if mean < 99.8 || mean > 100.2 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(vals)-1))
+	if sd < 4.8 || sd > 5.2 {
+		t.Errorf("normal sd = %g, want ~5", sd)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	z := Zipf{N: 100, S: 1}
+	vals := z.Gen(20000, 11)
+	counts := map[float64]int{}
+	for _, v := range vals {
+		if v < 1 || v > 100 {
+			t.Fatalf("rank %g outside [1,100]", v)
+		}
+		counts[v]++
+	}
+	// Rank 1 should be roughly twice as frequent as rank 2 and far more
+	// frequent than rank 50.
+	if counts[1] < counts[2] {
+		t.Errorf("rank 1 (%d) should beat rank 2 (%d)", counts[1], counts[2])
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Errorf("rank1/rank2 = %.2f, want ~2 for s=1", ratio)
+	}
+	if counts[1] < 10*counts[50] {
+		t.Errorf("rank 1 (%d) should dwarf rank 50 (%d)", counts[1], counts[50])
+	}
+	if out := (Zipf{N: 0, S: 1}).Gen(5, 1); out != nil {
+		t.Error("N=0 should yield nil")
+	}
+}
+
+func TestCorrelated(t *testing.T) {
+	base := Uniform{Lo: 0, Hi: 100}.Gen(5000, 5)
+	tight := Correlated{Slope: 2, Noise: 1}.Gen(base, 6)
+	loose := Correlated{Slope: 2, Noise: 500}.Gen(base, 6)
+	rTight := Pearson(base, tight)
+	rLoose := Pearson(base, loose)
+	if rTight < 0.99 {
+		t.Errorf("tight correlation = %g, want > 0.99", rTight)
+	}
+	if math.Abs(rLoose) > 0.5 {
+		t.Errorf("loose correlation = %g, want near 0", rLoose)
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{1})) {
+		t.Error("degenerate Pearson should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{1, 2})) {
+		t.Error("zero-variance Pearson should be NaN")
+	}
+}
+
+func TestDistributionDeterminism(t *testing.T) {
+	for _, d := range []Distribution{Uniform{0, 1}, Normal{0, 1}, Zipf{N: 50, S: 1.2}} {
+		a := d.Gen(100, 42)
+		b := d.Gen(100, 42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: not deterministic at %d", d.Name(), i)
+			}
+		}
+		c := d.Gen(100, 43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds identical", d.Name())
+		}
+	}
+}
+
+func TestTableSpecBuild(t *testing.T) {
+	spec := TableSpec{
+		Name: "micro", Rows: 1000,
+		Cols: []ColSpec{
+			{Name: "x", Dist: Uniform{Lo: 0, Hi: 1000}},
+			{Name: "y", CorrelateWith: "x", Corr: Correlated{Slope: 1, Noise: 10}},
+			{Name: "z", Dist: Zipf{N: 10, S: 1}},
+		},
+	}
+	tab, err := spec.Build(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 1000 || len(tab.Cols) != 3 {
+		t.Fatalf("built %dx%d", tab.NumRows(), len(tab.Cols))
+	}
+	x, _ := tab.Column("x")
+	y, _ := tab.Column("y")
+	if r := Pearson(x.Floats, y.Floats); r < 0.9 {
+		t.Errorf("declared correlation not realized: r = %g", r)
+	}
+
+	bad := []TableSpec{
+		{Name: "r0", Rows: 0, Cols: spec.Cols},
+		{Name: "nocols", Rows: 10},
+		{Name: "nodist", Rows: 10, Cols: []ColSpec{{Name: "x"}}},
+		{Name: "badref", Rows: 10, Cols: []ColSpec{{Name: "y", CorrelateWith: "missing"}}},
+	}
+	for _, b := range bad {
+		if _, err := b.Build(1); err == nil {
+			t.Errorf("%s: expected error", b.Name)
+		}
+	}
+}
+
+func TestSelectivityThreshold(t *testing.T) {
+	vals := Uniform{Lo: 0, Hi: 1}.Gen(10000, 13)
+	for _, sel := range []float64{0.01, 0.1, 0.5, 0.9, 1.0} {
+		c, err := SelectivityThreshold(vals, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := 0
+		for _, v := range vals {
+			if v < c {
+				hit++
+			}
+		}
+		got := float64(hit) / float64(len(vals))
+		if math.Abs(got-sel) > 0.01 {
+			t.Errorf("selectivity %g realized as %g", sel, got)
+		}
+	}
+	if _, err := SelectivityThreshold(nil, 0.5); err == nil {
+		t.Error("empty column should error")
+	}
+	if _, err := SelectivityThreshold(vals, 1.5); err == nil {
+		t.Error("out-of-range selectivity should error")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	spec := TableSpec{
+		Name: "t", Rows: 20000,
+		Cols: []ColSpec{{Name: "v", Dist: Uniform{Lo: 0, Hi: 1}}},
+	}
+	tab, err := spec.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := &Sweep{
+		Table: tab, Column: "v",
+		Selectivities: []float64{0.1, 0.5, 0.9},
+	}
+	points, err := sweep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Row counts track selectivity.
+	for i, p := range points {
+		want := sweep.Selectivities[i] * 20000
+		if math.Abs(float64(p.RowsOut)-want) > 300 {
+			t.Errorf("selectivity %g: %d rows, want ~%.0f", p.Selectivity, p.RowsOut, want)
+		}
+	}
+	// Simulated time grows with selectivity (more rows gathered).
+	if !(points[0].User < points[2].User) {
+		t.Errorf("time should grow with selectivity: %v vs %v", points[0].User, points[2].User)
+	}
+	// The rendered chart passes the paper's guidelines.
+	chart := Chart(points, "filter sweep")
+	if vs := plot.Lint(chart); len(vs) != 0 {
+		t.Errorf("sweep chart violates guidelines: %v", vs)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	tab, _ := TableSpec{Name: "t", Rows: 10, Cols: []ColSpec{{Name: "v", Dist: Uniform{0, 1}}}}.Build(1)
+	cases := []*Sweep{
+		{Column: "v", Selectivities: []float64{0.5}},                 // no table
+		{Table: tab, Column: "v"},                                    // no selectivities
+		{Table: tab, Column: "missing", Selectivities: []float64{1}}, // bad column
+	}
+	for i, s := range cases {
+		if _, err := s.Run(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Non-float column rejected.
+	intTab, _ := vdb.NewTable("i", vdb.NewIntColumn("k", []int64{1, 2}))
+	s := &Sweep{Table: intTab, Column: "k", Selectivities: []float64{0.5}}
+	if _, err := s.Run(); err == nil {
+		t.Error("int column should error")
+	}
+}
+
+// Property: realized selectivity of the generated threshold is within 2%
+// for any uniform sample of reasonable size.
+func TestSelectivityQuick(t *testing.T) {
+	f := func(seed uint16, selRaw uint8) bool {
+		sel := float64(selRaw) / 255
+		vals := Uniform{Lo: 0, Hi: 1}.Gen(2000, uint64(seed)+1)
+		c, err := SelectivityThreshold(vals, sel)
+		if err != nil {
+			return false
+		}
+		hit := 0
+		for _, v := range vals {
+			if v < c {
+				hit++
+			}
+		}
+		return math.Abs(float64(hit)/2000-sel) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

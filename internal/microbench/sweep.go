@@ -1,0 +1,101 @@
+package microbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hwsim"
+	"repro/internal/plot"
+	"repro/internal/vdb"
+)
+
+// Sweep measures one operator across a selectivity range — the canonical
+// micro-benchmark of the paper's planning chapter ("allow broad parameter
+// range(s); useful for detailed, in-depth analysis").
+type Sweep struct {
+	// Table to scan; built by TableSpec.Build.
+	Table *vdb.Table
+	// Column the predicate filters on.
+	Column string
+	// Selectivities to test, each in [0,1].
+	Selectivities []float64
+	// Engine to measure (default ColumnEngine).
+	Engine vdb.Engine
+	// Machine for simulated timing (default the paper's laptop).
+	Machine *hwsim.Machine
+}
+
+// SweepPoint is one measured configuration.
+type SweepPoint struct {
+	Selectivity float64
+	RowsOut     int
+	User        time.Duration
+}
+
+// Run executes the sweep hot (data resident) and returns one point per
+// selectivity.
+func (s *Sweep) Run() ([]SweepPoint, error) {
+	if s.Table == nil {
+		return nil, fmt.Errorf("microbench: sweep needs a table")
+	}
+	if len(s.Selectivities) == 0 {
+		return nil, fmt.Errorf("microbench: sweep needs selectivities")
+	}
+	col, err := s.Table.Column(s.Column)
+	if err != nil {
+		return nil, err
+	}
+	if col.Type != vdb.TFloat {
+		return nil, fmt.Errorf("microbench: sweep column %q must be float", s.Column)
+	}
+	engine := s.Engine
+	if engine == nil {
+		engine = vdb.ColumnEngine{}
+	}
+	machine := s.Machine
+	if machine == nil {
+		m := hwsim.PentiumM2005
+		machine = &m
+	}
+
+	var out []SweepPoint
+	for _, sel := range s.Selectivities {
+		threshold, err := SelectivityThreshold(col.Floats, sel)
+		if err != nil {
+			return nil, err
+		}
+		db := vdb.NewDB()
+		if err := db.AddTable(s.Table); err != nil {
+			return nil, err
+		}
+		ctx := vdb.NewSimContext(db, machine, hwsim.NewVirtualClock())
+		ctx.Buffers.WarmAll([]string{s.Table.Name})
+		plan := vdb.Scan(s.Table.Name).
+			Filter(vdb.Lt(vdb.Col(s.Column), vdb.Float(threshold))).
+			Aggregate(vdb.Count("n")).Node()
+		res, err := vdb.Run(ctx, engine, plan)
+		if err != nil {
+			return nil, err
+		}
+		n, err := res.Column("n")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Selectivity: sel,
+			RowsOut:     int(n.Ints[0]),
+			User:        ctx.Clock.User(),
+		})
+	}
+	return out, nil
+}
+
+// Chart renders sweep points as a guideline-conforming line chart.
+func Chart(points []SweepPoint, title string) *plot.Chart {
+	pts := make([]plot.Point, len(points))
+	for i, p := range points {
+		pts[i] = plot.Point{X: p.Selectivity, Y: float64(p.User) / float64(time.Millisecond)}
+	}
+	return plot.NewLineChart(title, "selectivity (fraction of rows)", "user time (ms)",
+		plot.Series{Name: "filter + count", Points: pts})
+}

@@ -1,0 +1,293 @@
+package paperexp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/plot"
+	"repro/internal/stats"
+	"repro/internal/sysinfo"
+)
+
+// RunF4 regenerates slides 115-134: the chart-guideline catalogue. It
+// constructs the paper's bad charts, runs the linter, and shows what it
+// flags.
+func RunF4() (*Result, error) {
+	var sb strings.Builder
+	var counts []float64
+
+	lint := func(title string, vs []plot.Violation) {
+		fmt.Fprintf(&sb, "%s:\n", title)
+		if len(vs) == 0 {
+			sb.WriteString("  (clean)\n")
+		}
+		for _, v := range vs {
+			fmt.Fprintf(&sb, "  - %s\n", v)
+		}
+		sb.WriteByte('\n')
+		counts = append(counts, float64(len(vs)))
+	}
+
+	// Too many curves.
+	many := plot.NewLineChart("response time by users", "Number of users", "Response time (ms)")
+	for i := 0; i < 8; i++ {
+		many.Series = append(many.Series, plot.Series{
+			Name:   fmt.Sprintf("configuration %d", i+1),
+			Points: []plot.Point{{X: 1, Y: float64(i)}, {X: 2, Y: float64(2 * i)}},
+		})
+	}
+	lint("8 curves on one line chart", plot.Lint(many))
+
+	// Symbols instead of keywords.
+	sym := plot.NewLineChart("response time", "Arrival rate (jobs/sec)", "Response time (ms)",
+		plot.Series{Name: "µ=1", Points: []plot.Point{{X: 1, Y: 2}}},
+		plot.Series{Name: "µ=2", Points: []plot.Point{{X: 1, Y: 1}}},
+	)
+	lint("symbols in place of text (µ=1 vs \"1 job/sec\")", plot.Lint(sym))
+
+	// Many response variables on a single chart.
+	mixed := plot.NewLineChart("everything at once", "Number of users", "value (mixed units)",
+		plot.Series{Name: "response time", Points: []plot.Point{{X: 1, Y: 10}}},
+		plot.Series{Name: "throughput", Points: []plot.Point{{X: 1, Y: 70}}},
+		plot.Series{Name: "utilization", Points: []plot.Point{{X: 1, Y: 0.9}}},
+	)
+	lint("many result variables on a single chart (\"Huh?\")",
+		plot.LintCombined(mixed, []string{"response time", "throughput", "utilization"}))
+
+	// Inconsistent curve layout across figures.
+	s := plot.Series{Name: "our engine", Points: []plot.Point{{X: 1, Y: 1}}, Style: plot.Style{LineType: 1, Color: "red"}}
+	s2 := s
+	s2.Style = plot.Style{LineType: 3, Color: "green"}
+	fig1 := plot.NewLineChart("fig 1", "x (n)", "time (ms)", s)
+	fig2 := plot.NewLineChart("fig 2", "x (n)", "time (ms)", s2)
+	lint("curve changes layout between figures", plot.LintFigureSet([]*plot.Chart{fig1, fig2}))
+
+	// A clean chart for contrast.
+	good := plot.NewLineChart("Execution time for various scale factors",
+		"Scale factor", "Execution time (ms)",
+		plot.Series{Name: "column engine", Points: []plot.Point{{X: 1, Y: 1234}, {X: 2, Y: 2467}}})
+	lint("a chart following the guidelines", plot.Lint(good))
+
+	return &Result{
+		ID: "f4", Title: "Guidelines for preparing good graphic charts", Slides: "115-134",
+		Text:   sb.String(),
+		Series: map[string][]float64{"violations": counts},
+	}, nil
+}
+
+// RunF5 regenerates slides 142-145: confidence-interval overlap and the
+// histogram cell-size rule.
+func RunF5() (*Result, error) {
+	var sb strings.Builder
+
+	// Confidence intervals: two alternatives whose intervals overlap are
+	// statistically indifferent; two disjoint ones are not.
+	mine := []float64{101, 99, 103, 98, 100}
+	yours := []float64{102, 100, 104, 99, 101}
+	cmp, err := stats.CompareAlternatives(mine, yours, 0.95)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&sb, "MINE %v vs YOURS %v -> %s\n", cmp.A, cmp.B, cmp.Verdict)
+	fast := []float64{50, 51, 49, 50, 52}
+	cmp2, err := stats.CompareAlternatives(fast, yours, 0.95)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&sb, "FAST %v vs YOURS %v -> %s\n\n", cmp2.A, cmp2.B, cmp2.Verdict)
+
+	// Histogram cells: the paper's 36-point response-time sample.
+	counts := []int{3, 6, 9, 12, 4, 2}
+	var xs []float64
+	for cell, n := range counts {
+		for i := 0; i < n; i++ {
+			xs = append(xs, float64(cell)*2+0.3+float64(i)*0.2)
+		}
+	}
+	fine, err := stats.NewHistogramRange(xs, 6, 0, 12)
+	if err != nil {
+		return nil, err
+	}
+	sb.WriteString("fine bins (violates the >=5 points/cell rule):\n")
+	var fineCounts, coarseCounts []float64
+	for _, bin := range fine.Bins {
+		fmt.Fprintf(&sb, "  %-8s %s (%d)\n", bin.Label(), strings.Repeat("#", bin.Count), bin.Count)
+		fineCounts = append(fineCounts, float64(bin.Count))
+	}
+	fmt.Fprintf(&sb, "  rule satisfied: %v\n\n", fine.SatisfiesCellRule())
+	auto, err := stats.AutoBin(xs)
+	if err != nil {
+		return nil, err
+	}
+	sb.WriteString("auto-coarsened bins:\n")
+	for _, bin := range auto.Bins {
+		fmt.Fprintf(&sb, "  %-8s %s (%d)\n", bin.Label(), strings.Repeat("#", bin.Count), bin.Count)
+		coarseCounts = append(coarseCounts, float64(bin.Count))
+	}
+	fmt.Fprintf(&sb, "  rule satisfied: %v\n", auto.SatisfiesCellRule())
+
+	return &Result{
+		ID: "f5", Title: "Confidence intervals and histogram cell sizes", Slides: "142-145",
+		Text: sb.String(),
+		Series: map[string][]float64{
+			"fine":   fineCounts,
+			"coarse": coarseCounts,
+		},
+	}, nil
+}
+
+// RunF6 regenerates slides 138-141 and 146-148: the truncated-axis
+// pictorial game and the gnuplot sizing rule.
+func RunF6() (*Result, error) {
+	var sb strings.Builder
+
+	// MINE vs YOURS: 2610 vs 2600 drawn with a truncated axis looks like
+	// a 2x difference; with a zero-based axis it looks like what it is.
+	chart := plot.NewBarChart("MINE is better than YOURS!", "throughput (tx/s)",
+		plot.Labels{"MINE", "YOURS"}, []float64{2610, 2600})
+	honest, err := plot.ASCII(chart, 60, 0)
+	if err != nil {
+		return nil, err
+	}
+	sb.WriteString("zero-based axis (honest):\n" + honest + "\n")
+	truncated := plot.NewLineChart("MINE is better than YOURS!", "alternative", "throughput (tx/s)",
+		plot.Series{Name: "throughput", Points: []plot.Point{{X: 0, Y: 2610}, {X: 1, Y: 2600}}})
+	truncated.YStartsAtZero = false
+	vs := plot.Lint(truncated)
+	sb.WriteString("truncated-axis version is flagged by the linter:\n")
+	for _, v := range vs {
+		fmt.Fprintf(&sb, "  - %s\n", v)
+	}
+
+	// gnuplot sizing rule.
+	sb.WriteString("\ngnuplot sizing (width of plot = x*\\textwidth => set size ratio 0 x*1.5,y):\n")
+	var ratios []float64
+	for _, frac := range []float64{1.0, 0.5, 0.33} {
+		sx, sy := plot.GnuplotSizeRatio(frac)
+		ratios = append(ratios, sx)
+		fmt.Fprintf(&sb, "  width %.2f\\textwidth -> set size ratio 0 %g,%g\n", frac, sx, sy)
+	}
+	fmt.Fprintf(&sb, "\nrecommended plot aspect: height = 3/4 width\n")
+
+	return &Result{
+		ID: "f6", Title: "Pictorial games", Slides: "138-141, 146-148",
+		Text:   sb.String(),
+		Series: map[string][]float64{"size-sx": ratios},
+	}, nil
+}
+
+// RunT8 regenerates slides 202-205: the automatic gnuplot pipeline over
+// the paper's results-m1-n5.csv data.
+func RunT8() (*Result, error) {
+	chart := plot.NewLineChart("Execution time for various scale factors",
+		"Scale factor", "Execution time (ms)",
+		plot.Series{Name: "results", Points: []plot.Point{
+			{X: 1, Y: 1234}, {X: 2, Y: 2467}, {X: 3, Y: 4623},
+		}})
+	data, err := plot.WriteGnuplotData(chart)
+	if err != nil {
+		return nil, err
+	}
+	script := plot.GnuplotScript(chart, "results-m1-n5.csv", "results-m1-n5.eps")
+	text := "1. data file results-m1-n5.csv:\n\n" + indent(data) +
+		"\n2. command file plot-m1-n5.gnu:\n\n" + indent(script) +
+		"\n3. run: gnuplot plot-m1-n5.gnu\n"
+	return &Result{
+		ID: "t8", Title: "Automatically generating graphs with gnuplot", Slides: "202-205",
+		Text:   text,
+		Series: map[string][]float64{"y": {1234, 2467, 4623}},
+	}, nil
+}
+
+// RunT9 regenerates slides 212-215: the locale war story — average times
+// "13.666" and "12.3333" pasted into a mismatched-locale spreadsheet become
+// 13666 and 123333, and the hazard detector catches them.
+func RunT9() (*Result, error) {
+	original := []string{"13.666", "15", "12.3333", "13"}
+	var sb strings.Builder
+	sb.WriteString("avgs.out (average times over three runs):\n")
+	var mangled [][]float64
+	var mangledVals []float64
+	for i, s := range original {
+		m := plot.LocaleMangle(s)
+		v, err := strconv.ParseFloat(m, 64)
+		if err != nil {
+			return nil, err
+		}
+		mangled = append(mangled, []float64{v})
+		mangledVals = append(mangledVals, v)
+		fmt.Fprintf(&sb, "  %d  %-8s -> pasted under a '.'-as-thousands locale -> %g\n", i+1, s, v)
+	}
+	sb.WriteString("\nhazard detector output:\n")
+	hazards := plot.DetectLocaleHazards(mangled)
+	for _, h := range hazards {
+		fmt.Fprintf(&sb, "  - %s\n", h)
+	}
+	sb.WriteString("\nmoral: generate your own graphs from C-locale data; don't copy-paste\n")
+	return &Result{
+		ID: "t9", Title: "Why you should generate your own graphs", Slides: "212-215",
+		Text:   sb.String(),
+		Series: map[string][]float64{"mangled": mangledVals, "hazards": {float64(len(hazards))}},
+	}, nil
+}
+
+// RunT10 regenerates slides 149-156: under-, right-, and over-specified
+// hardware environment reports, plus parsing the paper's own cpuinfo
+// sample.
+func RunT10() (*Result, error) {
+	spec := sysinfo.HWSpec{
+		CPUVendor: "Intel",
+		CPUModel:  "Pentium M (Dothan)",
+		ClockHz:   1.5e9,
+		Caches: []sysinfo.CacheSpec{
+			{Level: "L1", SizeBytes: 32 << 10},
+			{Level: "L2", SizeBytes: 2 << 20},
+		},
+		RAMBytes: 2 << 30,
+		Disks:    []sysinfo.DiskSpec{{Description: "Laptop ATA disk @ 5400RPM", SizeBytes: 120 << 30}},
+		Network:  "1Gb shared Ethernet",
+	}
+	var sb strings.Builder
+	under := spec.Report(sysinfo.Under)
+	right := spec.Report(sysinfo.Right)
+	over := spec.Report(sysinfo.Over)
+	fmt.Fprintf(&sb, "under-specified (%s):\n  %s\n\n", sysinfo.Classify(under), under)
+	fmt.Fprintf(&sb, "right-sized (%s):\n%s\n", sysinfo.Classify(right), indent(right))
+	overLines := strings.Count(over, "\n")
+	fmt.Fprintf(&sb, "over-specified (%s): %d lines of device listing (elided)\n\n",
+		sysinfo.Classify(over), overLines)
+
+	info, err := sysinfo.ParseCPUInfo(paperCPUInfoSample)
+	if err != nil {
+		return nil, err
+	}
+	parsed := info.ToHWSpec()
+	fmt.Fprintf(&sb, "parsed from the paper's /proc/cpuinfo sample:\n  %s %s at %.2g GHz (rated; the momentary reading was %.0f MHz under frequency scaling)\n",
+		parsed.CPUVendor, parsed.CPUModel, parsed.ClockHz/1e9, info.MHz)
+
+	return &Result{
+		ID: "t10", Title: "Specifying hardware environments", Slides: "149-156",
+		Text: sb.String(),
+		Series: map[string][]float64{
+			"levels":   {float64(sysinfo.Classify(under)), float64(sysinfo.Classify(right)), float64(sysinfo.Classify(over))},
+			"rated-hz": {parsed.ClockHz},
+		},
+	}, nil
+}
+
+const paperCPUInfoSample = `processor	: 0
+vendor_id	: GenuineIntel
+model name	: Intel(R) Pentium(R) M processor 1.50GHz
+cpu MHz		: 600.000
+cache size	: 2048 KB
+flags		: fpu vme de pse tsc msr mce cx8
+`
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

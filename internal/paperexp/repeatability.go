@@ -1,0 +1,81 @@
+package paperexp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plot"
+	"repro/internal/repeat"
+)
+
+// RunF7 regenerates slides 218-220: the SIGMOD 2008 repeatability outcome
+// charts, rendered as share bars, plus the stated headline numbers.
+func RunF7() (*Result, error) {
+	var sb strings.Builder
+	h := repeat.SIGMOD2008Headline()
+	fmt.Fprintf(&sb, "SIGMOD 2008: %d submissions, %d papers provided code for repeatability testing;\n",
+		h.Submissions, h.ProvidedCode)
+	fmt.Fprintf(&sb, "%d accepted papers assessed, %d rejected papers verified, %d papers verified in total.\n\n",
+		h.Accepted, h.RejectedVer, h.TotalVerified)
+
+	series := map[string][]float64{}
+	order := []repeat.OutcomeCategory{
+		repeat.AllRepeated, repeat.SomeRepeated, repeat.NoneRepeated,
+		repeat.Excused, repeat.NoSubmission,
+	}
+	for _, chart := range repeat.SIGMOD2008() {
+		if !chart.Consistent() {
+			return nil, fmt.Errorf("inconsistent chart %q", chart.Title)
+		}
+		var labels plot.Labels
+		var values []float64
+		for _, cat := range order {
+			if n, ok := chart.Counts[cat]; ok {
+				labels = append(labels, string(cat))
+				values = append(values, float64(n))
+			}
+		}
+		pie := plot.NewPieChart(chart.Title, labels, values)
+		text, err := plot.ASCII(pie, 72, 0)
+		if err != nil {
+			return nil, err
+		}
+		sb.WriteString(text)
+		sb.WriteByte('\n')
+		series[chart.Title] = values
+	}
+	sb.WriteString("Per-category splits are read off the published pie charts (marked FromFigure\n")
+	sb.WriteString("in the dataset); the totals are stated in the slide text.\n")
+
+	return &Result{
+		ID: "f7", Title: "How SIGMOD 2008 repeatability went", Slides: "218-220",
+		Text:   sb.String(),
+		Series: series,
+	}, nil
+}
+
+// PaperSuite builds the repeatable experiment suite covering every table
+// and figure of this reproduction — the repository applying the paper's
+// repeatability checklist to itself.
+func PaperSuite() *repeat.Suite {
+	s := &repeat.Suite{
+		Name: "performance-evaluation-paper",
+		Requirements: []string{
+			"Go 1.22 or newer",
+			"no network access required (stdlib only, data generated deterministically)",
+		},
+		Install: "go build ./...",
+		Layout:  repeat.DefaultLayout(),
+	}
+	for _, e := range Registry() {
+		s.Experiments = append(s.Experiments, repeat.Experiment{
+			ID:               e.ID,
+			Description:      e.Title,
+			Script:           "go run ./cmd/perfeval run " + e.ID,
+			OutputPath:       "res/" + e.ID + ".txt",
+			ExpectedDuration: 5e9, // 5s, generous
+			Idempotent:       true,
+		})
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII renders the chart as monospace text — the terminal-native artifact
+// this repository's experiment reports embed. Line charts render on a
+// width x height grid; bar and pie charts render as labeled horizontal
+// bars.
+func ASCII(c *Chart, width, height int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 15
+	}
+	switch c.Kind {
+	case Bar, HistogramKind:
+		return asciiBars(c, width, false)
+	case Pie:
+		return asciiBars(c, width, true)
+	default:
+		return asciiLines(c, width, height)
+	}
+}
+
+func asciiBars(c *Chart, width int, asShare bool) (string, error) {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	pts := c.Series[0].Points
+	var maxV, total float64
+	maxLabel := 0
+	for i, p := range pts {
+		if p.Y > maxV {
+			maxV = p.Y
+		}
+		total += p.Y
+		if len(c.CatLabels[i]) > maxLabel {
+			maxLabel = len(c.CatLabels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	if total == 0 {
+		total = 1
+	}
+	barSpace := width - maxLabel - 14
+	if barSpace < 10 {
+		barSpace = 10
+	}
+	for i, p := range pts {
+		n := int(p.Y / maxV * float64(barSpace))
+		if asShare {
+			fmt.Fprintf(&b, "%-*s %s %5.1f%%\n", maxLabel, c.CatLabels[i],
+				strings.Repeat("#", n), 100*p.Y/total)
+		} else {
+			fmt.Fprintf(&b, "%-*s %s %g\n", maxLabel, c.CatLabels[i],
+				strings.Repeat("#", n), p.Y)
+		}
+	}
+	if !asShare && c.YLabel != "" {
+		fmt.Fprintf(&b, "(%s)\n", c.YLabel)
+	}
+	return b.String(), nil
+}
+
+func asciiLines(c *Chart, width, height int) (string, error) {
+	xlo, xhi := c.XRange()
+	ylo, yhi := c.YRange()
+	if c.YStartsAtZero && ylo > 0 {
+		ylo = 0
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+ox#@%&"
+	for si, s := range c.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			x := int((p.X - xlo) / (xhi - xlo) * float64(width-1))
+			y := int((p.Y - ylo) / (yhi - ylo) * float64(height-1))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%s\n", c.YLabel)
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.4g ", yhi)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%7.4g ", ylo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-10.4g%*s\n", xlo, width-10, fmt.Sprintf("%.4g", xhi))
+	fmt.Fprintf(&b, "        %s\n", c.XLabel)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// StackedBar renders a two-component stacked horizontal bar chart (used by
+// the memory-wall figure: CPU vs memory component per machine).
+func StackedBar(title string, labels []string, comp1, comp2 []float64, name1, name2, unit string, width int) (string, error) {
+	if len(labels) != len(comp1) || len(labels) != len(comp2) {
+		return "", fmt.Errorf("plot: stacked bar needs equal-length inputs (%d, %d, %d)", len(labels), len(comp1), len(comp2))
+	}
+	if len(labels) == 0 {
+		return "", fmt.Errorf("plot: stacked bar needs at least one row")
+	}
+	if width < 30 {
+		width = 60
+	}
+	var maxV float64
+	maxLabel := 0
+	for i := range labels {
+		if t := comp1[i] + comp2[i]; t > maxV {
+			maxV = t
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	barSpace := width - maxLabel - 20
+	if barSpace < 10 {
+		barSpace = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i := range labels {
+		n1 := int(comp1[i] / maxV * float64(barSpace))
+		n2 := int(comp2[i] / maxV * float64(barSpace))
+		fmt.Fprintf(&b, "%-*s %s%s %.1f %s\n", maxLabel, labels[i],
+			strings.Repeat("C", n1), strings.Repeat("M", n2), comp1[i]+comp2[i], unit)
+	}
+	fmt.Fprintf(&b, "  C = %s, M = %s\n", name1, name2)
+	return b.String(), nil
+}

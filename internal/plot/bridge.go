@@ -1,0 +1,42 @@
+package plot
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// FromHistogram renders a stats.Histogram as a chart, carrying the bin
+// labels and counts so Lint can apply the paper's >=5-points-per-cell rule
+// directly to the figure.
+func FromHistogram(h *stats.Histogram, title, ylabel string) (*Chart, error) {
+	if h == nil || len(h.Bins) == 0 {
+		return nil, fmt.Errorf("plot: empty histogram")
+	}
+	labels := make(Labels, len(h.Bins))
+	pts := make([]Point, len(h.Bins))
+	for i, bin := range h.Bins {
+		labels[i] = bin.Label()
+		pts[i] = Point{X: float64(i), Y: float64(bin.Count)}
+	}
+	return &Chart{
+		Title: title, YLabel: ylabel, Kind: HistogramKind,
+		Series:        []Series{{Name: title, Points: pts}},
+		CatLabels:     labels,
+		YStartsAtZero: true, AspectRatio: 0.75,
+	}, nil
+}
+
+// FromIntervals builds a line chart whose points carry confidence-interval
+// half-widths, so CheckReplicatedSeries passes and renderers can draw error
+// bars.
+func FromIntervals(name string, xs []float64, ivs []stats.Interval) (Series, error) {
+	if len(xs) != len(ivs) {
+		return Series{}, fmt.Errorf("plot: %d x values for %d intervals", len(xs), len(ivs))
+	}
+	pts := make([]Point, len(xs))
+	for i := range xs {
+		pts[i] = Point{X: xs[i], Y: ivs[i].Mean, CIHalf: ivs[i].HalfWidth()}
+	}
+	return Series{Name: name, Points: pts}, nil
+}

@@ -1,0 +1,62 @@
+package plot
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestFromHistogram(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 3, 3, 3, 8, 8, 9, 9, 9}
+	h, err := stats.NewHistogramRange(xs, 2, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := FromHistogram(h, "response times", "frequency (points)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chart.Kind != HistogramKind || len(chart.CatLabels) != 2 {
+		t.Fatalf("chart = %+v", chart)
+	}
+	if err := chart.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 7 and 5 points per cell: the rule holds, lint is clean.
+	if vs := Lint(chart); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+	// Under-populated cells are flagged through the same path.
+	h2, _ := stats.NewHistogramRange(xs, 6, 0, 12)
+	chart2, err := FromHistogram(h2, "fine", "frequency (points)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasRule(Lint(chart2), RuleHistogramCellCount) {
+		t.Error("fine bins should violate the cell rule")
+	}
+	if _, err := FromHistogram(nil, "t", "y"); err == nil {
+		t.Error("nil histogram should error")
+	}
+}
+
+func TestFromIntervals(t *testing.T) {
+	ivs := []stats.Interval{
+		{Mean: 10, Lo: 9, Hi: 11},
+		{Mean: 20, Lo: 18, Hi: 22},
+	}
+	s, err := FromIntervals("engine A", []float64{1, 2}, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Points[0].CIHalf != 1 || s.Points[1].CIHalf != 2 {
+		t.Errorf("half widths = %v", s.Points)
+	}
+	chart := NewLineChart("t", "x (n)", "y (ms)", s)
+	if vs := CheckReplicatedSeries(chart, true); len(vs) != 0 {
+		t.Errorf("interval series flagged: %v", vs)
+	}
+	if _, err := FromIntervals("x", []float64{1}, ivs); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GnuplotSizeRatio implements the paper's sizing rule of thumb for papers
+// (slide 146-148): if the plot is x*\textwidth wide, use
+// `set size ratio 0 x*1.5,y`. It returns the two size arguments for the
+// given width fraction and the recommended 3/4 plot aspect.
+func GnuplotSizeRatio(widthFrac float64) (sx, sy float64) {
+	if widthFrac <= 0 || widthFrac > 1 {
+		widthFrac = 1
+	}
+	sx = widthFrac * 1.5
+	sy = sx * 0.5 / 0.75 * 0.75 // keep sy proportional; default gnuplot canvas is 1x1
+	if widthFrac == 1 {
+		return 1, 1 // full-width default canvas
+	}
+	return sx, widthFrac
+}
+
+// GnuplotScript emits a complete, runnable gnuplot command file for the
+// chart, reading data from dataFile (whitespace-separated columns: x then
+// one column per series; written by WriteGnuplotData). This mirrors the
+// paper's automatic-graph-generation recipe: results file + command file ->
+// artifact, no hand-editing.
+func GnuplotScript(c *Chart, dataFile, outFile string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "set terminal postscript eps color\n")
+	fmt.Fprintf(&b, "set output %q\n", outFile)
+	if c.Title != "" {
+		fmt.Fprintf(&b, "set title %q\n", c.Title)
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "set xlabel %q\n", c.XLabel)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "set ylabel %q\n", c.YLabel)
+	}
+	sx, sy := GnuplotSizeRatio(c.WidthFrac)
+	fmt.Fprintf(&b, "set size ratio 0 %g,%g\n", sx, sy)
+	if c.YStartsAtZero {
+		b.WriteString("set yrange [0:*]\n")
+	}
+	switch c.Kind {
+	case Bar, HistogramKind:
+		b.WriteString("set style data histogram\nset style fill solid 0.8\n")
+		fmt.Fprintf(&b, "plot %q using 2:xtic(1) title %q\n", dataFile, c.Series[0].Name)
+	case Pie:
+		// gnuplot has no native pie chart; emit the conventional
+		// circle-object workaround header and the data as labels.
+		b.WriteString("# pie charts are emitted as labeled shares\n")
+		fmt.Fprintf(&b, "plot %q using 2:xtic(1) with boxes title %q\n", dataFile, c.Series[0].Name)
+	default:
+		b.WriteString("set style data linespoints\n")
+		parts := make([]string, len(c.Series))
+		for i, s := range c.Series {
+			parts[i] = fmt.Sprintf("%q using 1:%d title %q", dataFile, i+2, s.Name)
+		}
+		fmt.Fprintf(&b, "plot %s\n", strings.Join(parts, ", \\\n     "))
+	}
+	return b.String()
+}
+
+// WriteGnuplotData renders the chart's data in the column layout
+// GnuplotScript expects. Line charts require all series to share X values
+// point-by-point; categorical charts emit label/value pairs.
+func WriteGnuplotData(c *Chart) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	switch c.Kind {
+	case Bar, Pie, HistogramKind:
+		for i, p := range c.Series[0].Points {
+			fmt.Fprintf(&b, "%q %s\n", c.CatLabels[i], FormatFloat(p.Y))
+		}
+	default:
+		n := len(c.Series[0].Points)
+		for _, s := range c.Series[1:] {
+			if len(s.Points) != n {
+				return "", fmt.Errorf("plot: series %q has %d points, first series has %d", s.Name, len(s.Points), n)
+			}
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "%s", FormatFloat(c.Series[0].Points[i].X))
+			for _, s := range c.Series {
+				fmt.Fprintf(&b, "\t%s", FormatFloat(s.Points[i].Y))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}

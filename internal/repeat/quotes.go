@@ -1,0 +1,80 @@
+package repeat
+
+// This file records the paper's "In their words" chapter (slides 221-234):
+// anonymized author statements collected during the SIGMOD 2008
+// repeatability assessment, classified as the excuses for not providing
+// runnable code and the encouragements reported afterwards. Each excuse
+// carries the repeatability practice that would have prevented it — turning
+// the paper's war stories into actionable lint for experiment suites.
+
+// QuoteKind classifies a statement.
+type QuoteKind int
+
+const (
+	// Excuse is a reason given for not providing testable code.
+	Excuse QuoteKind = iota
+	// Encouragement is positive feedback on the repeatability process.
+	Encouragement
+)
+
+func (k QuoteKind) String() string {
+	if k == Excuse {
+		return "excuse"
+	}
+	return "encouragement"
+}
+
+// Quote is one anonymized statement with its lesson.
+type Quote struct {
+	Kind QuoteKind
+	// Summary paraphrases the statement.
+	Summary string
+	// Lesson names the practice (a Suite/Experiment field or paper
+	// guideline) that addresses it. Empty for encouragements.
+	Lesson string
+}
+
+// InTheirWords returns the paper's quote catalogue.
+func InTheirWords() []Quote {
+	return []Quote{
+		{Excuse,
+			"the primary author graduated and cannot package the code; it is tightly coupled to ongoing work",
+			"maintain the code and keep experiments scripted while the work is fresh (Suite.Install, Experiment.Script)"},
+		{Excuse,
+			"we use other people's code and lost some of our own; rebuilding needs 4-5 months",
+			"version and archive everything an experiment needs when the experiment is run"},
+		{Excuse,
+			"the system cannot be packaged to run from the command line after three years of development",
+			"keep a command-line entry point per experiment from day one (Experiment.Script)"},
+		{Excuse,
+			"results depended on 300 manual relevance judgments that cannot be repeated",
+			"record the judgments as data; they are part of the experiment's inputs"},
+		{Excuse,
+			"the random subsets were not recorded and the experiments were performed months ago",
+			"fix and record seeds; derive subsets deterministically (the generator-seed discipline)"},
+		{Excuse,
+			"the simulator predates the instructions and takes no command-line parameters",
+			"make experiments parameterizable (config.Properties, -Dkey=value)"},
+		{Encouragement,
+			"this wasn't too hard and definitely worth it: we found a mistake in our own submission", ""},
+		{Encouragement,
+			"it was helpful; we discovered an error in one of our graphs after submission", ""},
+		{Encouragement,
+			"a great sense of achievement when other people can repeat our work and use our methods", ""},
+		{Encouragement,
+			"it helps students develop more solid software and algorithms", ""},
+		{Encouragement,
+			"a very important direction for the field's maturing; authors will come to think instinctively about repeatability", ""},
+	}
+}
+
+// Excuses returns only the excuses, each with its preventing practice.
+func Excuses() []Quote {
+	var out []Quote
+	for _, q := range InTheirWords() {
+		if q.Kind == Excuse {
+			out = append(out, q)
+		}
+	}
+	return out
+}

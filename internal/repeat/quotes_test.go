@@ -1,0 +1,37 @@
+package repeat
+
+import "testing"
+
+func TestInTheirWords(t *testing.T) {
+	quotes := InTheirWords()
+	if len(quotes) < 10 {
+		t.Fatalf("quotes = %d", len(quotes))
+	}
+	nExcuse, nEnc := 0, 0
+	for _, q := range quotes {
+		if q.Summary == "" {
+			t.Error("empty summary")
+		}
+		switch q.Kind {
+		case Excuse:
+			nExcuse++
+			if q.Lesson == "" {
+				t.Errorf("excuse without lesson: %q", q.Summary)
+			}
+		case Encouragement:
+			nEnc++
+			if q.Lesson != "" {
+				t.Errorf("encouragement with lesson: %q", q.Summary)
+			}
+		}
+		if q.Kind.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+	if nExcuse < 5 || nEnc < 4 {
+		t.Errorf("excuses = %d, encouragements = %d", nExcuse, nEnc)
+	}
+	if len(Excuses()) != nExcuse {
+		t.Errorf("Excuses() = %d, want %d", len(Excuses()), nExcuse)
+	}
+}

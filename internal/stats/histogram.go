@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinCellCount is the paper's rule of thumb for histograms: "each cell in a
+// histogram should have at least five data points" (slides 128, 144).
+const MinCellCount = 5
+
+// Bin is one histogram cell: the half-open interval [Lo, Hi) and the number
+// of observations that fell into it. The final bin is closed on both ends.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Label renders the bin interval in the paper's "[lo,hi)" notation.
+func (b Bin) Label() string { return fmt.Sprintf("[%g,%g)", b.Lo, b.Hi) }
+
+// Histogram is a binned view of a sample.
+type Histogram struct {
+	Bins []Bin
+	N    int // total observations
+}
+
+// NewHistogram bins xs into `cells` equal-width bins spanning [min, max].
+// It returns an error for an empty sample or non-positive cell count.
+func NewHistogram(xs []float64, cells int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if cells <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 cell, got %d", cells)
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		hi = lo + 1 // degenerate sample: one covering bin
+	}
+	return NewHistogramRange(xs, cells, lo, hi)
+}
+
+// NewHistogramRange bins xs into `cells` equal-width bins spanning
+// [lo, hi). Observations outside the range are dropped (and excluded from
+// N). The last bin includes hi.
+func NewHistogramRange(xs []float64, cells int, lo, hi float64) (*Histogram, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 cell, got %d", cells)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%g,%g) is empty", lo, hi)
+	}
+	h := &Histogram{Bins: make([]Bin, cells)}
+	width := (hi - lo) / float64(cells)
+	for i := range h.Bins {
+		h.Bins[i].Lo = lo + float64(i)*width
+		h.Bins[i].Hi = lo + float64(i+1)*width
+	}
+	h.Bins[cells-1].Hi = hi // avoid float drift at the top edge
+	for _, x := range xs {
+		if x < lo || x > hi {
+			continue
+		}
+		idx := int((x - lo) / width)
+		if idx >= cells { // x == hi
+			idx = cells - 1
+		}
+		h.Bins[idx].Count++
+		h.N++
+	}
+	return h, nil
+}
+
+// MinCount returns the smallest cell count.
+func (h *Histogram) MinCount() int {
+	if len(h.Bins) == 0 {
+		return 0
+	}
+	m := h.Bins[0].Count
+	for _, b := range h.Bins[1:] {
+		if b.Count < m {
+			m = b.Count
+		}
+	}
+	return m
+}
+
+// SatisfiesCellRule reports whether every cell holds at least MinCellCount
+// points — the paper's rule of thumb for trustworthy histograms.
+func (h *Histogram) SatisfiesCellRule() bool { return h.MinCount() >= MinCellCount }
+
+// Coarsen merges adjacent bins pairwise (cell count halves, rounding up for
+// an odd count), the remedy the paper illustrates on slide 144 when cells
+// are under-populated: [0,2)...[10,12) becomes [0,6),[6,12).
+func (h *Histogram) Coarsen() *Histogram {
+	if len(h.Bins) <= 1 {
+		cp := *h
+		cp.Bins = append([]Bin(nil), h.Bins...)
+		return &cp
+	}
+	out := &Histogram{N: h.N}
+	for i := 0; i < len(h.Bins); i += 2 {
+		b := h.Bins[i]
+		if i+1 < len(h.Bins) {
+			b.Hi = h.Bins[i+1].Hi
+			b.Count += h.Bins[i+1].Count
+		}
+		out.Bins = append(out.Bins, b)
+	}
+	return out
+}
+
+// AutoBin picks a cell count for xs: it starts from the Sturges suggestion
+// ceil(log2 n)+1 and coarsens until the paper's >=5-points-per-cell rule
+// holds (or a single bin remains). It returns the resulting histogram.
+func AutoBin(xs []float64) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	cells := int(math.Ceil(math.Log2(float64(len(xs))))) + 1
+	if cells < 1 {
+		cells = 1
+	}
+	h, err := NewHistogram(xs, cells)
+	if err != nil {
+		return nil, err
+	}
+	for !h.SatisfiesCellRule() && len(h.Bins) > 1 {
+		h = h.Coarsen()
+	}
+	return h, nil
+}

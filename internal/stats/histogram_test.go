@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperResponseTimes reconstructs a sample matching the paper's slide 144
+// histogram: cells [0,2)...[10,12) with counts 3, 6, 9, 12, 4, 2.
+func paperResponseTimes() []float64 {
+	counts := []int{3, 6, 9, 12, 4, 2}
+	var xs []float64
+	for cell, n := range counts {
+		for i := 0; i < n; i++ {
+			xs = append(xs, float64(cell)*2+0.5+float64(i)*0.1)
+		}
+	}
+	return xs
+}
+
+func TestPaperHistogramFineBins(t *testing.T) {
+	xs := paperResponseTimes()
+	h, err := NewHistogramRange(xs, 6, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 6, 9, 12, 4, 2}
+	for i, w := range want {
+		if h.Bins[i].Count != w {
+			t.Errorf("bin %d count = %d, want %d", i, h.Bins[i].Count, w)
+		}
+	}
+	if h.SatisfiesCellRule() {
+		t.Error("fine binning has cells with <5 points; rule should fail")
+	}
+	if h.MinCount() != 2 {
+		t.Errorf("min count = %d, want 2", h.MinCount())
+	}
+}
+
+func TestPaperHistogramCoarsened(t *testing.T) {
+	// The paper's remedy: merge to [0,6), [6,12) giving 18 and 18.
+	xs := paperResponseTimes()
+	h, err := NewHistogramRange(xs, 6, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := h.Coarsen() // 3 cells: [0,4)=9, [4,8)=21, [8,12)=6
+	c = &Histogram{Bins: []Bin{
+		{Lo: 0, Hi: 6, Count: h.Bins[0].Count + h.Bins[1].Count + h.Bins[2].Count},
+		{Lo: 6, Hi: 12, Count: h.Bins[3].Count + h.Bins[4].Count + h.Bins[5].Count},
+	}, N: h.N}
+	if c.Bins[0].Count != 18 || c.Bins[1].Count != 18 {
+		t.Errorf("2-cell counts = %d,%d, want 18,18", c.Bins[0].Count, c.Bins[1].Count)
+	}
+	if !c.SatisfiesCellRule() {
+		t.Error("coarse binning should satisfy the >=5 rule")
+	}
+}
+
+func TestCoarsenHalvesBins(t *testing.T) {
+	xs := paperResponseTimes()
+	h, _ := NewHistogramRange(xs, 6, 0, 12)
+	c := h.Coarsen()
+	if len(c.Bins) != 3 {
+		t.Fatalf("coarsened bins = %d, want 3", len(c.Bins))
+	}
+	if c.Bins[0].Count != 9 || c.Bins[1].Count != 21 || c.Bins[2].Count != 6 {
+		t.Errorf("coarsened counts = %v", c.Bins)
+	}
+	// Total preserved.
+	total := 0
+	for _, b := range c.Bins {
+		total += b.Count
+	}
+	if total != h.N {
+		t.Errorf("coarsen lost observations: %d != %d", total, h.N)
+	}
+}
+
+func TestCoarsenOddBins(t *testing.T) {
+	h := &Histogram{Bins: []Bin{
+		{Lo: 0, Hi: 1, Count: 1},
+		{Lo: 1, Hi: 2, Count: 2},
+		{Lo: 2, Hi: 3, Count: 3},
+	}, N: 6}
+	c := h.Coarsen()
+	if len(c.Bins) != 2 {
+		t.Fatalf("bins = %d, want 2", len(c.Bins))
+	}
+	if c.Bins[0].Count != 3 || c.Bins[1].Count != 3 {
+		t.Errorf("counts = %v", c.Bins)
+	}
+	// Single-bin histogram coarsens to itself.
+	h1 := &Histogram{Bins: []Bin{{Lo: 0, Hi: 1, Count: 5}}, N: 5}
+	if got := h1.Coarsen(); len(got.Bins) != 1 || got.Bins[0].Count != 5 {
+		t.Errorf("single-bin coarsen = %v", got.Bins)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	// Bins are half-open [lo,hi): 5 lands in [5,10]; 10 (the top edge)
+	// also lands in the final bin.
+	h, err := NewHistogramRange([]float64{0, 5, 10}, 2, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bins[0].Count != 1 || h.Bins[1].Count != 2 {
+		t.Errorf("edge binning: %v", h.Bins)
+	}
+	// Out-of-range values are dropped.
+	h2, _ := NewHistogramRange([]float64{-1, 5, 11}, 2, 0, 10)
+	if h2.N != 1 {
+		t.Errorf("N = %d, want 1 (out of range dropped)", h2.N)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 4); err != ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero cells should error")
+	}
+	if _, err := NewHistogramRange([]float64{1}, 2, 5, 5); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestHistogramDegenerateSample(t *testing.T) {
+	h, err := NewHistogram([]float64{7, 7, 7, 7, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 5 {
+		t.Errorf("N = %d, want 5", h.N)
+	}
+}
+
+func TestAutoBinSatisfiesRule(t *testing.T) {
+	h, err := AutoBin(paperResponseTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.SatisfiesCellRule() && len(h.Bins) > 1 {
+		t.Errorf("AutoBin result violates cell rule: %v", h.Bins)
+	}
+}
+
+func TestBinLabel(t *testing.T) {
+	b := Bin{Lo: 0, Hi: 2}
+	if b.Label() != "[0,2)" {
+		t.Errorf("label = %q", b.Label())
+	}
+}
+
+// Property: AutoBin never loses observations and either satisfies the cell
+// rule or ends with a single bin.
+func TestAutoBinPropertiesQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		h, err := AutoBin(xs)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, b := range h.Bins {
+			total += b.Count
+		}
+		return total == len(xs) && (h.SatisfiesCellRule() || len(h.Bins) == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regression holds a fitted least-squares linear model
+// y = b0 + b1*x1 + ... + bk*xk.
+//
+// The design chapter of the paper derives factorial effects as the solution
+// of exactly such a model over coded (-1/+1) factor values; this solver is
+// the general-purpose engine behind it and is also usable directly for
+// response-surface style analyses.
+type Regression struct {
+	Coeffs   []float64 // b0..bk; b0 is the intercept
+	R2       float64   // coefficient of determination
+	Resid    []float64 // residuals per observation
+	N        int       // number of observations
+	NPredict int       // number of predictors (k)
+}
+
+// FitLinear fits y = b0 + sum_j b_j * X[i][j] by ordinary least squares.
+// X is row-major: one row per observation, one column per predictor.
+// It returns an error when dimensions disagree, there are fewer
+// observations than coefficients, or the normal equations are singular.
+func FitLinear(xrows [][]float64, y []float64) (*Regression, error) {
+	n := len(y)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(xrows) != n {
+		return nil, fmt.Errorf("stats: %d predictor rows but %d responses", len(xrows), n)
+	}
+	k := len(xrows[0])
+	for i, r := range xrows {
+		if len(r) != k {
+			return nil, fmt.Errorf("stats: predictor row %d has %d columns, want %d", i, len(r), k)
+		}
+	}
+	p := k + 1 // coefficients including intercept
+	if n < p {
+		return nil, fmt.Errorf("stats: %d observations cannot determine %d coefficients", n, p)
+	}
+
+	// Build the design matrix with a leading 1s column and solve the
+	// normal equations (X'X) b = X'y by Gaussian elimination with
+	// partial pivoting. For the small systems experiment analysis
+	// produces (k <= ~20) this is simple and robust enough.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p+1) // augmented with X'y
+	}
+	design := func(row int, col int) float64 {
+		if col == 0 {
+			return 1
+		}
+		return xrows[row][col-1]
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += design(r, i) * design(r, j)
+			}
+			xtx[i][j] = s
+		}
+		var s float64
+		for r := 0; r < n; r++ {
+			s += design(r, i) * y[r]
+		}
+		xtx[i][p] = s
+	}
+
+	coeffs, err := solveAugmented(xtx)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := &Regression{Coeffs: coeffs, N: n, NPredict: k}
+	reg.Resid = make([]float64, n)
+	meanY := Mean(y)
+	var ssRes, ssTot float64
+	for r := 0; r < n; r++ {
+		pred := coeffs[0]
+		for j := 0; j < k; j++ {
+			pred += coeffs[j+1] * xrows[r][j]
+		}
+		reg.Resid[r] = y[r] - pred
+		ssRes += reg.Resid[r] * reg.Resid[r]
+		d := y[r] - meanY
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		reg.R2 = 1
+	} else {
+		reg.R2 = 1 - ssRes/ssTot
+	}
+	return reg, nil
+}
+
+// Predict evaluates the fitted model at predictor vector x (length k).
+func (r *Regression) Predict(x []float64) (float64, error) {
+	if len(x) != r.NPredict {
+		return 0, fmt.Errorf("stats: predict got %d predictors, model has %d", len(x), r.NPredict)
+	}
+	y := r.Coeffs[0]
+	for j, v := range x {
+		y += r.Coeffs[j+1] * v
+	}
+	return y, nil
+}
+
+// solveAugmented solves the augmented system [A|b] (p rows, p+1 columns) by
+// Gaussian elimination with partial pivoting.
+func solveAugmented(m [][]float64) ([]float64, error) {
+	p := len(m)
+	for col := 0; col < p; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular system (column %d); predictors are collinear", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < p; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= p; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	out := make([]float64, p)
+	for r := p - 1; r >= 0; r-- {
+		s := m[r][p]
+		for c := r + 1; c < p; c++ {
+			s -= m[r][c] * out[c]
+		}
+		out[r] = s / m[r][r]
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3 + 2x, exact fit.
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{3, 5, 7, 9}
+	r, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Coeffs[0], 3, 1e-9, "intercept")
+	approx(t, r.Coeffs[1], 2, 1e-9, "slope")
+	approx(t, r.R2, 1, 1e-12, "R2 exact")
+	p, err := r.Predict([]float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, p, 23, 1e-9, "predict")
+}
+
+func TestFitLinearTwoPredictors(t *testing.T) {
+	// The paper's 2^2 factorial model: y = 40 + 20*xa + 10*xb + 5*xa*xb,
+	// fed to the general regression solver with the interaction as a
+	// third predictor column.
+	x := [][]float64{
+		{-1, -1, 1},
+		{1, -1, -1},
+		{-1, 1, -1},
+		{1, 1, 1},
+	}
+	y := []float64{15, 45, 25, 75}
+	r, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Coeffs[0], 40, 1e-9, "q0")
+	approx(t, r.Coeffs[1], 20, 1e-9, "qA")
+	approx(t, r.Coeffs[2], 10, 1e-9, "qB")
+	approx(t, r.Coeffs[3], 5, 1e-9, "qAB")
+	approx(t, r.R2, 1, 1e-12, "R2")
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	// y = 1 + 0.5x with deterministic "noise"; R2 must be < 1 but high.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		fx := float64(i)
+		noise := 0.3 * math.Sin(float64(i)*1.7)
+		x = append(x, []float64{fx})
+		y = append(y, 1+0.5*fx+noise)
+	}
+	r, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Coeffs[1], 0.5, 0.01, "slope with noise")
+	if r.R2 <= 0.99 || r.R2 >= 1 {
+		t.Errorf("R2 = %g, want in (0.99, 1)", r.R2)
+	}
+	if len(r.Resid) != 50 {
+		t.Errorf("residual count = %d, want 50", len(r.Resid))
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FitLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, err := FitLinear([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	// Fewer observations than coefficients.
+	if _, err := FitLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined should error")
+	}
+	// Collinear predictors.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	y := []float64{1, 2, 3, 4}
+	if _, err := FitLinear(x, y); err == nil {
+		t.Error("collinear predictors should error")
+	}
+}
+
+func TestPredictDimensionError(t *testing.T) {
+	r, err := FitLinear([][]float64{{0}, {1}, {2}}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Predict([]float64{1, 2}); err == nil {
+		t.Error("wrong predictor count should error")
+	}
+}
+
+// Property: fitting y = a + b*x recovers a and b for arbitrary small
+// integers with at least two distinct x values.
+func TestFitLinearRecoversLineQuick(t *testing.T) {
+	f := func(a, b int8, xsRaw []int8) bool {
+		// Need >= 2 distinct x values.
+		seen := map[int8]bool{}
+		for _, v := range xsRaw {
+			seen[v] = true
+		}
+		if len(seen) < 2 {
+			return true
+		}
+		var x [][]float64
+		var y []float64
+		for _, v := range xsRaw {
+			x = append(x, []float64{float64(v)})
+			y = append(y, float64(a)+float64(b)*float64(v))
+		}
+		r, err := FitLinear(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r.Coeffs[0]-float64(a)) < 1e-6 && math.Abs(r.Coeffs[1]-float64(b)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

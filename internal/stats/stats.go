@@ -1,0 +1,215 @@
+// Package stats provides the statistical machinery that the paper's
+// methodology rests on: descriptive statistics, Student-t confidence
+// intervals, comparison of alternatives via interval overlap, least-squares
+// regression, histograms with the paper's cell-size rules, and the
+// sum-of-squares decomposition used by allocation of variation.
+//
+// Everything is deterministic and pure; no global state.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs. It returns NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// otherwise NaN is returned. The geometric mean is the correct way to
+// average ratios such as the DBG/OPT relative execution times in the paper.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Variance returns the unbiased sample variance (divisor n-1).
+// It returns NaN when fewer than two observations are supplied.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation (square root of Variance).
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean, s/sqrt(n).
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Min returns the smallest element of xs, or NaN if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (average of the two central elements for
+// even n). It does not modify xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile of xs (0 <= p <= 100) using linear
+// interpolation between closest ranks. It does not modify xs and returns NaN
+// for an empty sample or out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the descriptive statistics of a sample, in the shape a
+// measurement report needs: location, spread, and extremes.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	StdErr float64
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Min:    Min(xs),
+		Median: Median(xs),
+		Max:    Max(xs),
+	}
+	if len(xs) >= 2 {
+		s.StdDev = StdDev(xs)
+		s.StdErr = StdErr(xs)
+	}
+	return s, nil
+}
+
+// String renders the summary on one line, suitable for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g se=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.StdErr, s.Min, s.Median, s.Max)
+}
+
+// SumSquaresTotal returns SST = sum (yi - mean)^2, the total variation of y
+// that allocation of variation distributes among factors (paper slides
+// 81-85).
+func SumSquaresTotal(ys []float64) float64 {
+	m := Mean(ys)
+	var ss float64
+	for _, y := range ys {
+		d := y - m
+		ss += d * d
+	}
+	return ss
+}
+
+// CoefficientOfVariation returns StdDev/Mean, a scale-free measure of
+// measurement noise. Experiment reports use it to check that variation due
+// to a factor dominates variation due to experimental error (common mistake
+// #1 in the paper).
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / m
+}
+
+// Speedup returns base/improved, the paper's "speed-up" comparison metric.
+// It returns NaN if improved is zero.
+func Speedup(base, improved float64) float64 {
+	if improved == 0 {
+		return math.NaN()
+	}
+	return base / improved
+}
+
+// ScaleUp returns (workBig/workSmall)/(timeBig/timeSmall): 1.0 means perfect
+// scale-up (doubling the work doubles the time), >1 means better than
+// linear.
+func ScaleUp(workSmall, timeSmall, workBig, timeBig float64) float64 {
+	if workSmall == 0 || timeSmall == 0 || timeBig == 0 {
+		return math.NaN()
+	}
+	return (workBig / workSmall) / (timeBig / timeSmall)
+}

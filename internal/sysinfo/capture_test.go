@@ -1,0 +1,28 @@
+package sysinfo
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestCapture(t *testing.T) {
+	hw, sw, err := Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.CPUModel == "" {
+		t.Error("capture should always produce some CPU description")
+	}
+	if sw.OS != runtime.GOOS {
+		t.Errorf("OS = %q", sw.OS)
+	}
+	if sw.Compiler == "" || sw.Flags == "" {
+		t.Error("software spec incomplete")
+	}
+	// The captured spec is a starting point: MissingFields must work on
+	// it without panicking and usually reports gaps (memory/disk).
+	_ = hw.MissingFields()
+	if len(sw.MissingFields()) != 0 {
+		t.Errorf("captured software spec missing %v", sw.MissingFields())
+	}
+}

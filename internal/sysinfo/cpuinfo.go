@@ -1,0 +1,117 @@
+package sysinfo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CPUInfo is the parsed form of a /proc/cpuinfo processor block — the raw
+// material the paper's slide 152 shows and from which a right-sized spec is
+// assembled.
+type CPUInfo struct {
+	Vendor    string
+	ModelName string
+	MHz       float64
+	CacheKB   int64
+	Flags     []string
+}
+
+// ParseCPUInfo parses the first processor block of /proc/cpuinfo-format
+// text. It tolerates unknown fields and returns an error when no
+// recognizable fields are present.
+func ParseCPUInfo(text string) (*CPUInfo, error) {
+	info := &CPUInfo{}
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		key := strings.TrimSpace(line[:colon])
+		val := strings.TrimSpace(line[colon+1:])
+		switch key {
+		case "vendor_id":
+			info.Vendor, found = val, true
+		case "model name":
+			info.ModelName, found = val, true
+		case "cpu MHz":
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				info.MHz, found = f, true
+			}
+		case "cache size":
+			fields := strings.Fields(val)
+			if len(fields) >= 1 {
+				if n, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					info.CacheKB, found = n, true
+				}
+			}
+		case "flags":
+			info.Flags, found = strings.Fields(val), true
+		case "processor":
+			if info.Vendor != "" || info.ModelName != "" {
+				// Second processor block: stop after the first.
+				return info, nil
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("sysinfo: no recognizable cpuinfo fields in %d bytes of input", len(text))
+	}
+	return info, nil
+}
+
+// ToHWSpec lifts the parsed cpuinfo into a partial HWSpec (CPU fields
+// only); the caller fills in memory, disk, and network.
+//
+// Note the clock-speed trap the paper's own sample shows: a laptop with
+// frequency scaling reports "cpu MHz : 600.000" for a 1.5 GHz processor.
+// When the model name carries a rated frequency ("... @ 1.50GHz" or
+// "... 1.50GHz"), that is used instead of the momentary MHz reading.
+func (c *CPUInfo) ToHWSpec() HWSpec {
+	spec := HWSpec{
+		CPUVendor: c.Vendor,
+		CPUModel:  c.ModelName,
+		ClockHz:   c.MHz * 1e6,
+	}
+	if rated := ratedHzFromModel(c.ModelName); rated > 0 {
+		spec.ClockHz = rated
+	}
+	if c.CacheKB > 0 {
+		spec.Caches = []CacheSpec{{Level: "L2", SizeBytes: c.CacheKB << 10}}
+	}
+	return spec
+}
+
+// ratedHzFromModel extracts a "1.50GHz" style rated frequency from a model
+// name, returning 0 when absent.
+func ratedHzFromModel(model string) float64 {
+	lower := strings.ToLower(model)
+	for _, unit := range []struct {
+		suffix string
+		mult   float64
+	}{{"ghz", 1e9}, {"mhz", 1e6}} {
+		idx := strings.Index(lower, unit.suffix)
+		if idx <= 0 {
+			continue
+		}
+		// Walk back over the number.
+		end := idx
+		start := end
+		for start > 0 {
+			ch := lower[start-1]
+			if (ch >= '0' && ch <= '9') || ch == '.' {
+				start--
+				continue
+			}
+			break
+		}
+		if start == end {
+			continue
+		}
+		if f, err := strconv.ParseFloat(lower[start:end], 64); err == nil {
+			return f * unit.mult
+		}
+	}
+	return 0
+}

@@ -1,0 +1,182 @@
+package vdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// accumulator implements one aggregate function instance for one group.
+// Both engines share it so their aggregate semantics cannot drift apart.
+type accumulator struct {
+	fn       AggFunc
+	count    int64
+	sumI     int64
+	sumF     float64
+	isInt    bool
+	best     Value // current min/max
+	hasBest  bool
+	distinct map[string]struct{}
+}
+
+func newAccumulator(fn AggFunc, inputType Type) *accumulator {
+	a := &accumulator{fn: fn, isInt: inputType == TInt}
+	if fn == AggCountDistinct {
+		a.distinct = make(map[string]struct{})
+	}
+	return a
+}
+
+// add folds one input value in. For AggCount with no expression, call
+// addCount instead.
+func (a *accumulator) add(v Value) {
+	switch a.fn {
+	case AggCount:
+		a.count++
+	case AggCountDistinct:
+		a.distinct[v.String()] = struct{}{}
+	case AggSum, AggAvg:
+		a.count++
+		if a.isInt && v.Typ == TInt {
+			a.sumI += v.I
+		} else {
+			a.sumF += v.AsFloat()
+		}
+	case AggMin:
+		if !a.hasBest || v.Less(a.best) {
+			a.best = v
+			a.hasBest = true
+		}
+	case AggMax:
+		if !a.hasBest || a.best.Less(v) {
+			a.best = v
+			a.hasBest = true
+		}
+	}
+}
+
+// addCount counts a row for COUNT(*).
+func (a *accumulator) addCount() { a.count++ }
+
+// result extracts the aggregate value. Min/Max over an empty group and
+// Avg over an empty group return an error (SQL would return NULL; vdb has
+// no NULLs, and empty groups cannot arise from grouped aggregation anyway).
+func (a *accumulator) result() (Value, error) {
+	switch a.fn {
+	case AggCount:
+		return IntVal(a.count), nil
+	case AggCountDistinct:
+		return IntVal(int64(len(a.distinct))), nil
+	case AggSum:
+		if a.isInt {
+			return IntVal(a.sumI), nil
+		}
+		return FloatVal(a.sumF), nil
+	case AggAvg:
+		if a.count == 0 {
+			return Value{}, fmt.Errorf("vdb: avg over empty input")
+		}
+		total := a.sumF
+		if a.isInt {
+			total = float64(a.sumI)
+		}
+		return FloatVal(total / float64(a.count)), nil
+	case AggMin, AggMax:
+		if !a.hasBest {
+			return Value{}, fmt.Errorf("vdb: %s over empty input", a.fn)
+		}
+		return a.best, nil
+	default:
+		return Value{}, fmt.Errorf("vdb: unknown aggregate %v", a.fn)
+	}
+}
+
+// groupKey renders group-by values into a map key.
+func groupKey(vals []Value) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// group holds the accumulators and group-by values of one group.
+type group struct {
+	keys []Value
+	accs []*accumulator
+}
+
+// groupSet manages groups in first-seen order (deterministic output).
+type groupSet struct {
+	specs   []AggSpec
+	inTypes []Type // aggregate input types (TInt for COUNT(*))
+	byKey   map[string]*group
+	order   []*group
+	global  bool // ungrouped aggregation: always exactly one group
+}
+
+func newGroupSet(node *AggNode, child *Schema) (*groupSet, error) {
+	gs := &groupSet{
+		specs:  node.Aggs,
+		byKey:  make(map[string]*group),
+		global: len(node.GroupBy) == 0,
+	}
+	for _, a := range node.Aggs {
+		t := TInt
+		if a.Expr != nil {
+			var err error
+			t, err = a.Expr.TypeIn(child)
+			if err != nil {
+				return nil, err
+			}
+		}
+		gs.inTypes = append(gs.inTypes, t)
+	}
+	if gs.global {
+		gs.getOrCreate(nil)
+	}
+	return gs, nil
+}
+
+func (gs *groupSet) getOrCreate(keys []Value) *group {
+	k := groupKey(keys)
+	if g, ok := gs.byKey[k]; ok {
+		return g
+	}
+	g := &group{keys: append([]Value(nil), keys...)}
+	for i, spec := range gs.specs {
+		g.accs = append(g.accs, newAccumulator(spec.Func, gs.inTypes[i]))
+	}
+	gs.byKey[k] = g
+	gs.order = append(gs.order, g)
+	return g
+}
+
+// emit materializes the group results into an output table with the given
+// schema.
+func (gs *groupSet) emit(schema *Schema, name string) (*Table, error) {
+	cols := make([]*Column, len(schema.Names))
+	for i := range cols {
+		cols[i] = &Column{Name: schema.Names[i], Type: schema.Types[i]}
+	}
+	nGroupCols := len(schema.Names) - len(gs.specs)
+	for _, g := range gs.order {
+		for i, v := range g.keys {
+			if err := cols[i].Append(v); err != nil {
+				return nil, err
+			}
+		}
+		for i, acc := range g.accs {
+			v, err := acc.result()
+			if err != nil {
+				return nil, err
+			}
+			if err := cols[nGroupCols+i].Append(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return NewTable(name, cols...)
+}

@@ -1,0 +1,40 @@
+package vdb
+
+// BufferManager tracks which base tables are resident in the (simulated)
+// buffer pool / filesystem cache. It is the mechanism behind the paper's
+// hot-vs-cold distinction:
+//
+//   - FlushAll models the cold-run preparation ("a system reboot or running
+//     an application that accesses sufficient benchmark-irrelevant data to
+//     flush filesystem caches");
+//   - a table becomes resident the first time a scan touches it, so a
+//     repeated query runs hot.
+type BufferManager struct {
+	resident map[string]bool
+}
+
+// NewBufferManager starts with everything cold.
+func NewBufferManager() *BufferManager {
+	return &BufferManager{resident: make(map[string]bool)}
+}
+
+// Resident reports whether the named table is cached.
+func (b *BufferManager) Resident(table string) bool { return b.resident[table] }
+
+// MarkResident records that the table has been read into the cache.
+func (b *BufferManager) MarkResident(table string) { b.resident[table] = true }
+
+// FlushAll evicts everything: the next scan of any table pays disk I/O.
+func (b *BufferManager) FlushAll() {
+	for k := range b.resident {
+		delete(b.resident, k)
+	}
+}
+
+// WarmAll marks every named table resident without charging I/O — used to
+// set up an explicitly hot state.
+func (b *BufferManager) WarmAll(tables []string) {
+	for _, t := range tables {
+		b.resident[t] = true
+	}
+}

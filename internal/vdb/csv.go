@@ -1,0 +1,87 @@
+package vdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTableCSV loads a table from C-locale CSV with a header row, the
+// format Table.CSV and cmd/dbgen emit. Column types are inferred from the
+// data: a column is TInt if every value parses as an integer, else TFloat
+// if every value parses as a number, else TString. An empty table (header
+// only) is an error, since types cannot be inferred.
+func ParseTableCSV(name, text string) (*Table, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) < 1 || strings.TrimSpace(lines[0]) == "" {
+		return nil, fmt.Errorf("vdb: table %q: empty CSV", name)
+	}
+	header := strings.Split(lines[0], ",")
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("vdb: table %q: no data rows; cannot infer column types", name)
+	}
+	nCols := len(header)
+	cells := make([][]string, 0, len(lines)-1)
+	for ln, line := range lines[1:] {
+		parts := strings.Split(line, ",")
+		if len(parts) != nCols {
+			return nil, fmt.Errorf("vdb: table %q line %d: %d fields for %d columns", name, ln+2, len(parts), nCols)
+		}
+		cells = append(cells, parts)
+	}
+
+	cols := make([]*Column, nCols)
+	for c := 0; c < nCols; c++ {
+		typ := TInt
+		for _, row := range cells {
+			v := row[c]
+			if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+				continue
+			}
+			if _, err := strconv.ParseFloat(v, 64); err == nil {
+				if typ == TInt {
+					typ = TFloat
+				}
+				continue
+			}
+			typ = TString
+			break
+		}
+		col := &Column{Name: header[c], Type: typ}
+		for ln, row := range cells {
+			switch typ {
+			case TInt:
+				n, err := strconv.ParseInt(row[c], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("vdb: table %q line %d column %q: %w", name, ln+2, header[c], err)
+				}
+				col.Ints = append(col.Ints, n)
+			case TFloat:
+				f, err := strconv.ParseFloat(row[c], 64)
+				if err != nil {
+					return nil, fmt.Errorf("vdb: table %q line %d column %q: %w", name, ln+2, header[c], err)
+				}
+				col.Floats = append(col.Floats, f)
+			default:
+				col.Strs = append(col.Strs, row[c])
+			}
+		}
+		cols[c] = col
+	}
+	return NewTable(name, cols...)
+}
+
+// LoadDBFromCSV builds a catalog from named CSV texts, in the given order.
+func LoadDBFromCSV(tables []struct{ Name, CSV string }) (*DB, error) {
+	db := NewDB()
+	for _, t := range tables {
+		tab, err := ParseTableCSV(t.Name, t.CSV)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AddTable(tab); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,125 @@
+package vdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTableCSVRoundTrip(t *testing.T) {
+	orig, err := NewTable("t",
+		NewIntColumn("a", []int64{1, -2, 3}),
+		NewFloatColumn("b", []float64{13.666, 15, -0.5}),
+		NewStringColumn("c", []string{"x", "hello world", "13abc"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTableCSV("t", orig.CSV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumRows() != 3 || len(parsed.Cols) != 3 {
+		t.Fatalf("parsed %dx%d", parsed.NumRows(), len(parsed.Cols))
+	}
+	// Types inferred correctly.
+	if parsed.Cols[0].Type != TInt || parsed.Cols[1].Type != TFloat || parsed.Cols[2].Type != TString {
+		t.Errorf("types = %v %v %v", parsed.Cols[0].Type, parsed.Cols[1].Type, parsed.Cols[2].Type)
+	}
+	if parsed.CSV() != orig.CSV() {
+		t.Errorf("round trip mismatch:\n%q\n%q", orig.CSV(), parsed.CSV())
+	}
+}
+
+func TestParseTableCSVMixedNumeric(t *testing.T) {
+	// Integers mixed with floats widen the whole column to float.
+	text := "v\n1\n2.5\n3\n"
+	tab, err := ParseTableCSV("m", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Cols[0].Type != TFloat {
+		t.Errorf("type = %v, want float", tab.Cols[0].Type)
+	}
+	if tab.Cols[0].Floats[0] != 1 || tab.Cols[0].Floats[1] != 2.5 {
+		t.Errorf("values = %v", tab.Cols[0].Floats)
+	}
+}
+
+func TestParseTableCSVErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"empty", ""},
+		{"header only", "a,b\n"},
+		{"short row", "a,b\n1\n"},
+		{"long row", "a\n1,2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTableCSV("t", c.text); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Duplicate header names are rejected by NewTable.
+	if _, err := ParseTableCSV("t", "a,a\n1,2\n"); err == nil {
+		t.Error("duplicate columns should error")
+	}
+}
+
+func TestLoadDBFromCSVAndQuery(t *testing.T) {
+	db, err := LoadDBFromCSV([]struct{ Name, CSV string }{
+		{"items", "id,price\n1,10.5\n2,20\n3,7.25\n"},
+		{"tags", "item_id,tag\n1,cheap\n2,dear\n3,cheap\n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Scan("items").
+		Join(From(Scan("tags").Node()), "id", "item_id").
+		Filter(Eq(Col("tag"), Str("cheap"))).
+		Aggregate(Sum(Col("price"), "total")).Node()
+	res, err := Run(NewContext(db), ColumnEngine{}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cols[0].Floats[0]; got != 17.75 {
+		t.Errorf("total = %g, want 17.75", got)
+	}
+	// Bad CSV propagates.
+	if _, err := LoadDBFromCSV([]struct{ Name, CSV string }{{"bad", ""}}); err == nil {
+		t.Error("bad CSV should error")
+	}
+	// Duplicate table names propagate.
+	if _, err := LoadDBFromCSV([]struct{ Name, CSV string }{
+		{"t", "a\n1\n"}, {"t", "a\n1\n"},
+	}); err == nil {
+		t.Error("duplicate table should error")
+	}
+}
+
+// Property: CSV round trip preserves any table of integers (which never
+// contain separators or newlines, so the text format is unambiguous).
+func TestParseTableCSVQuick(t *testing.T) {
+	f := func(a, bRaw []int16) bool {
+		if len(a) == 0 {
+			return true
+		}
+		b := make([]int64, len(a))
+		av := make([]int64, len(a))
+		for i := range a {
+			av[i] = int64(a[i])
+			if i < len(bRaw) {
+				b[i] = int64(bRaw[i])
+			}
+		}
+		orig, err := NewTable("q", NewIntColumn("x", av), NewIntColumn("y", b))
+		if err != nil {
+			return false
+		}
+		parsed, err := ParseTableCSV("q", orig.CSV())
+		if err != nil {
+			return false
+		}
+		return parsed.CSV() == orig.CSV()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

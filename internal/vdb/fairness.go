@@ -1,0 +1,57 @@
+package vdb
+
+import "fmt"
+
+// CheckFairComparison inspects two execution contexts that are about to be
+// compared and reports every way the comparison is apples-to-oranges — the
+// paper's anecdote of colleague A compiling with optimization while B did
+// not, generalized:
+//
+//   - different build modes (DBG vs OPT: up to factor 2);
+//   - different machines;
+//   - different debug-overhead configurations;
+//   - different buffer warmth for the tables both will touch.
+//
+// An empty result does not make the comparison "absolutely fair" (the paper
+// says that is virtually impossible) — it means the crucial factors the
+// framework controls are equal, and what remains should be documented.
+func CheckFairComparison(a, b *ExecContext, tables []string) []string {
+	var out []string
+	if a == nil || b == nil {
+		return []string{"one of the contexts is nil"}
+	}
+	if a.Mode != b.Mode {
+		out = append(out, fmt.Sprintf(
+			"build modes differ: %s vs %s (the paper's compiler anecdote: up to factor 2)",
+			a.Mode, b.Mode))
+	}
+	switch {
+	case (a.Machine == nil) != (b.Machine == nil):
+		out = append(out, "one context simulates hardware costs, the other does not")
+	case a.Machine != nil && b.Machine != nil && a.Machine.Name != b.Machine.Name:
+		out = append(out, fmt.Sprintf("machines differ: %s vs %s", a.Machine.Name, b.Machine.Name))
+	}
+	if a.Machine != nil && b.Machine != nil && a.Overheads != b.Overheads {
+		out = append(out, "debug-overhead configurations differ")
+	}
+	if a.Buffers != nil && b.Buffers != nil {
+		for _, t := range tables {
+			ra, rb := a.Buffers.Resident(t), b.Buffers.Resident(t)
+			if ra != rb {
+				out = append(out, fmt.Sprintf(
+					"buffer state differs for table %q: %s vs %s (hot/cold mismatch)",
+					t, warmth(ra), warmth(rb)))
+			}
+		}
+	} else if (a.Buffers == nil) != (b.Buffers == nil) {
+		out = append(out, "one context tracks buffer state, the other does not")
+	}
+	return out
+}
+
+func warmth(resident bool) string {
+	if resident {
+		return "hot"
+	}
+	return "cold"
+}

@@ -1,0 +1,81 @@
+package vdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hwsim"
+)
+
+func TestFairComparisonClean(t *testing.T) {
+	db := bigDB(t, 100)
+	a := simCtx(db)
+	b := simCtx(db)
+	a.Buffers.WarmAll([]string{"big"})
+	b.Buffers.WarmAll([]string{"big"})
+	if issues := CheckFairComparison(a, b, []string{"big"}); len(issues) != 0 {
+		t.Errorf("identical contexts flagged: %v", issues)
+	}
+}
+
+func TestFairComparisonCatchesTheAnecdote(t *testing.T) {
+	// Colleague A compiled with optimization, colleague B did not.
+	db := bigDB(t, 100)
+	a := simCtx(db)
+	b := simCtx(db)
+	a.Mode = hwsim.Optimized
+	b.Mode = hwsim.Debug
+	issues := CheckFairComparison(a, b, nil)
+	if len(issues) != 1 || !strings.Contains(issues[0], "build modes differ") {
+		t.Errorf("issues = %v", issues)
+	}
+	if !strings.Contains(issues[0], "factor 2") {
+		t.Errorf("issue should cite the paper's factor: %v", issues[0])
+	}
+}
+
+func TestFairComparisonOtherMismatches(t *testing.T) {
+	db := bigDB(t, 100)
+
+	// Different machines.
+	a := simCtx(db)
+	m2 := hwsim.SunLX1992
+	b := NewSimContext(db, &m2, hwsim.NewVirtualClock())
+	if issues := CheckFairComparison(a, b, nil); len(issues) == 0 {
+		t.Error("different machines not flagged")
+	}
+
+	// Simulated vs plain.
+	plain := NewContext(db)
+	if issues := CheckFairComparison(a, plain, nil); len(issues) == 0 {
+		t.Error("simulated vs plain not flagged")
+	}
+
+	// Hot vs cold buffers.
+	c := simCtx(db)
+	d := simCtx(db)
+	c.Buffers.WarmAll([]string{"big"})
+	issues := CheckFairComparison(c, d, []string{"big"})
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i, "hot/cold") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("buffer mismatch not flagged: %v", issues)
+	}
+
+	// Different overheads.
+	e := simCtx(db)
+	f := simCtx(db)
+	f.Overheads = hwsim.OverheadFactors{Scan: 9, Filter: 9, Join: 9, Aggregate: 9, Sort: 9, Project: 9}
+	if issues := CheckFairComparison(e, f, nil); len(issues) == 0 {
+		t.Error("different overheads not flagged")
+	}
+
+	// Nil context.
+	if issues := CheckFairComparison(nil, a, nil); len(issues) != 1 {
+		t.Errorf("nil context: %v", issues)
+	}
+}

@@ -1,0 +1,226 @@
+package vdb
+
+import "fmt"
+
+// Optimize rewrites a logical plan into an equivalent one that does less
+// work:
+//
+//   - adjacent filters fuse into one conjunctive filter;
+//   - a filter above a join is pushed to the join input whose columns it
+//     references (smaller build/probe sides);
+//   - a filter above a projection of plain column renames is pushed below
+//     it (filter before materializing).
+//
+// The rewriter is semantics-preserving: the test suite checks optimized and
+// unoptimized plans produce identical results on both engines. It matters
+// for the paper's fairness chapter — comparing an optimized prototype
+// against an unoptimized system is an apples-to-oranges comparison, so the
+// optimization step must be explicit and reportable (Optimize returns the
+// applied rewrites).
+func Optimize(db *DB, n Node) (Node, []string, error) {
+	if _, err := OutputSchema(db, n); err != nil {
+		return nil, nil, err
+	}
+	var applied []string
+	out, err := rewrite(db, n, &applied)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, applied, nil
+}
+
+func rewrite(db *DB, n Node, applied *[]string) (Node, error) {
+	// Rewrite children first (bottom-up).
+	switch node := n.(type) {
+	case *ScanNode:
+		return node, nil
+	case *FilterNode:
+		child, err := rewrite(db, node.Child, applied)
+		if err != nil {
+			return nil, err
+		}
+		return rewriteFilter(db, &FilterNode{Child: child, Pred: node.Pred}, applied)
+	case *ProjectNode:
+		child, err := rewrite(db, node.Child, applied)
+		if err != nil {
+			return nil, err
+		}
+		return &ProjectNode{Child: child, Exprs: node.Exprs, Names: node.Names}, nil
+	case *JoinNode:
+		l, err := rewrite(db, node.Left, applied)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewrite(db, node.Right, applied)
+		if err != nil {
+			return nil, err
+		}
+		return &JoinNode{Left: l, Right: r, LeftKey: node.LeftKey, RightKey: node.RightKey}, nil
+	case *AggNode:
+		child, err := rewrite(db, node.Child, applied)
+		if err != nil {
+			return nil, err
+		}
+		return &AggNode{Child: child, GroupBy: node.GroupBy, Aggs: node.Aggs}, nil
+	case *SortNode:
+		child, err := rewrite(db, node.Child, applied)
+		if err != nil {
+			return nil, err
+		}
+		return &SortNode{Child: child, Keys: node.Keys}, nil
+	case *LimitNode:
+		child, err := rewrite(db, node.Child, applied)
+		if err != nil {
+			return nil, err
+		}
+		return &LimitNode{Child: child, N: node.N}, nil
+	case *DistinctNode:
+		child, err := rewrite(db, node.Child, applied)
+		if err != nil {
+			return nil, err
+		}
+		return &DistinctNode{Child: child}, nil
+	case *TopNNode:
+		child, err := rewrite(db, node.Child, applied)
+		if err != nil {
+			return nil, err
+		}
+		return &TopNNode{Child: child, Keys: node.Keys, N: node.N}, nil
+	default:
+		return nil, fmt.Errorf("vdb: optimizer: unknown node %T", n)
+	}
+}
+
+// rewriteFilter applies the filter-specific rules to a filter whose child
+// is already rewritten.
+func rewriteFilter(db *DB, f *FilterNode, applied *[]string) (Node, error) {
+	switch child := f.Child.(type) {
+	case *FilterNode:
+		// Fuse: Filter(p, Filter(q, x)) -> Filter(p AND q, x).
+		*applied = append(*applied, "fused adjacent filters")
+		return rewriteFilter(db, &FilterNode{Child: child.Child, Pred: And(child.Pred, f.Pred)}, applied)
+
+	case *JoinNode:
+		cols := exprColumns(f.Pred)
+		ls, err := OutputSchema(db, child.Left)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := OutputSchema(db, child.Right)
+		if err != nil {
+			return nil, err
+		}
+		if allIn(cols, ls) {
+			*applied = append(*applied, fmt.Sprintf("pushed filter %s below join (left side)", f.Pred))
+			left, err := rewriteFilter(db, &FilterNode{Child: child.Left, Pred: f.Pred}, applied)
+			if err != nil {
+				return nil, err
+			}
+			return &JoinNode{Left: left, Right: child.Right, LeftKey: child.LeftKey, RightKey: child.RightKey}, nil
+		}
+		if allIn(cols, rs) {
+			*applied = append(*applied, fmt.Sprintf("pushed filter %s below join (right side)", f.Pred))
+			right, err := rewriteFilter(db, &FilterNode{Child: child.Right, Pred: f.Pred}, applied)
+			if err != nil {
+				return nil, err
+			}
+			return &JoinNode{Left: child.Left, Right: right, LeftKey: child.LeftKey, RightKey: child.RightKey}, nil
+		}
+		return f, nil
+
+	case *ProjectNode:
+		// Push below a projection only when every column the predicate
+		// uses is a plain rename of a child column.
+		renames := map[string]string{} // output name -> input column
+		for i, e := range child.Exprs {
+			if ref, ok := e.(ColRef); ok {
+				renames[child.Names[i]] = ref.Name
+			}
+		}
+		cols := exprColumns(f.Pred)
+		mapped := map[string]string{}
+		for c := range cols {
+			src, ok := renames[c]
+			if !ok {
+				return f, nil // predicate uses a computed column
+			}
+			mapped[c] = src
+		}
+		*applied = append(*applied, fmt.Sprintf("pushed filter %s below projection", f.Pred))
+		pushed, err := rewriteFilter(db, &FilterNode{
+			Child: child.Child,
+			Pred:  renameColumns(f.Pred, mapped),
+		}, applied)
+		if err != nil {
+			return nil, err
+		}
+		return &ProjectNode{Child: pushed, Exprs: child.Exprs, Names: child.Names}, nil
+
+	default:
+		return f, nil
+	}
+}
+
+// exprColumns collects the column names an expression references.
+func exprColumns(e Expr) map[string]bool {
+	out := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch ex := e.(type) {
+		case ColRef:
+			out[ex.Name] = true
+		case ArithExpr:
+			walk(ex.L)
+			walk(ex.R)
+		case CmpExpr:
+			walk(ex.L)
+			walk(ex.R)
+		case BoolExpr:
+			walk(ex.L)
+			if ex.R != nil {
+				walk(ex.R)
+			}
+		case LikeExpr:
+			walk(ex.Operand)
+		}
+	}
+	walk(e)
+	return out
+}
+
+func allIn(cols map[string]bool, s *Schema) bool {
+	for c := range cols {
+		if _, err := s.IndexOf(c); err != nil {
+			return false
+		}
+	}
+	return len(cols) > 0
+}
+
+// renameColumns rewrites column references per the mapping (identity for
+// unmapped names).
+func renameColumns(e Expr, mapping map[string]string) Expr {
+	switch ex := e.(type) {
+	case ColRef:
+		if src, ok := mapping[ex.Name]; ok {
+			return ColRef{Name: src}
+		}
+		return ex
+	case ConstExpr:
+		return ex
+	case ArithExpr:
+		return ArithExpr{Op: ex.Op, L: renameColumns(ex.L, mapping), R: renameColumns(ex.R, mapping)}
+	case CmpExpr:
+		return CmpExpr{Op: ex.Op, L: renameColumns(ex.L, mapping), R: renameColumns(ex.R, mapping)}
+	case BoolExpr:
+		out := BoolExpr{Op: ex.Op, L: renameColumns(ex.L, mapping)}
+		if ex.R != nil {
+			out.R = renameColumns(ex.R, mapping)
+		}
+		return out
+	case LikeExpr:
+		return LikeExpr{Kind: ex.Kind, Operand: renameColumns(ex.Operand, mapping), Pattern: ex.Pattern, Negate: ex.Negate}
+	default:
+		return ex
+	}
+}

@@ -1,0 +1,201 @@
+package vdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hwsim"
+)
+
+func optimizeAndCompare(t *testing.T, db *DB, plan Node) (Node, []string) {
+	t.Helper()
+	opt, applied, err := Optimize(db, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Semantics preserved on both engines.
+	for _, e := range engines() {
+		orig, err := Run(NewContext(db), e, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rew, err := Run(NewContext(db), e, opt)
+		if err != nil {
+			t.Fatalf("%s on optimized plan: %v\n%s", e.Name(), err, Explain(opt))
+		}
+		a, b := orig.SortedRows(), rew.SortedRows()
+		if len(a) != len(b) {
+			t.Fatalf("%s: optimization changed row count %d -> %d", e.Name(), len(a), len(b))
+		}
+		for i := range a {
+			for j := range a[i] {
+				if !a[i][j].Equal(b[i][j]) {
+					t.Fatalf("%s: optimization changed results at row %d col %d", e.Name(), i, j)
+				}
+			}
+		}
+	}
+	return opt, applied
+}
+
+func TestOptimizeFusesFilters(t *testing.T) {
+	db := testDB(t)
+	plan := Scan("orders").
+		Filter(Gt(Col("o_total"), Float(50))).
+		Filter(Eq(Col("o_status"), Str("open"))).Node()
+	opt, applied := optimizeAndCompare(t, db, plan)
+	if len(applied) != 1 || !strings.Contains(applied[0], "fused") {
+		t.Errorf("applied = %v", applied)
+	}
+	// One filter remains.
+	if _, ok := opt.(*FilterNode); !ok {
+		t.Fatalf("root = %T", opt)
+	}
+	if _, ok := opt.(*FilterNode).Child.(*ScanNode); !ok {
+		t.Errorf("fused filter should sit on the scan:\n%s", Explain(opt))
+	}
+}
+
+func TestOptimizePushesFilterBelowJoin(t *testing.T) {
+	db := testDB(t)
+	plan := Scan("orders").
+		Join(From(Scan("cust").Node()), "o_cust", "c_id").
+		Filter(Eq(Col("c_name"), Str("alice"))).Node()
+	opt, applied := optimizeAndCompare(t, db, plan)
+	found := false
+	for _, a := range applied {
+		if strings.Contains(a, "below join (right side)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("applied = %v", applied)
+	}
+	join, ok := opt.(*JoinNode)
+	if !ok {
+		t.Fatalf("root = %T:\n%s", opt, Explain(opt))
+	}
+	if _, ok := join.Right.(*FilterNode); !ok {
+		t.Errorf("filter should be on the join's right input:\n%s", Explain(opt))
+	}
+	// Left-side predicate goes left.
+	plan2 := Scan("orders").
+		Join(From(Scan("cust").Node()), "o_cust", "c_id").
+		Filter(Gt(Col("o_total"), Float(100))).Node()
+	opt2, applied2 := optimizeAndCompare(t, db, plan2)
+	join2 := opt2.(*JoinNode)
+	if _, ok := join2.Left.(*FilterNode); !ok {
+		t.Errorf("filter should be on the join's left input: %v\n%s", applied2, Explain(opt2))
+	}
+}
+
+func TestOptimizeLeavesCrossSidePredicates(t *testing.T) {
+	db := testDB(t)
+	// Predicate referencing both sides cannot be pushed.
+	plan := Scan("orders").
+		Join(From(Scan("cust").Node()), "o_cust", "c_id").
+		Filter(Ne(Col("o_status"), Col("c_name"))).Node()
+	opt, applied := optimizeAndCompare(t, db, plan)
+	if len(applied) != 0 {
+		t.Errorf("applied = %v, want none", applied)
+	}
+	if _, ok := opt.(*FilterNode); !ok {
+		t.Errorf("filter should remain at the root:\n%s", Explain(opt))
+	}
+}
+
+func TestOptimizePushesFilterBelowRenameProjection(t *testing.T) {
+	db := testDB(t)
+	plan := Scan("orders").
+		Project([]string{"status", "total"}, Col("o_status"), Col("o_total")).
+		Filter(Eq(Col("status"), Str("open"))).Node()
+	opt, applied := optimizeAndCompare(t, db, plan)
+	found := false
+	for _, a := range applied {
+		if strings.Contains(a, "below projection") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("applied = %v", applied)
+	}
+	proj, ok := opt.(*ProjectNode)
+	if !ok {
+		t.Fatalf("root = %T", opt)
+	}
+	filt, ok := proj.Child.(*FilterNode)
+	if !ok {
+		t.Fatalf("project child = %T:\n%s", proj.Child, Explain(opt))
+	}
+	// Pushed predicate references the ORIGINAL column name.
+	if !strings.Contains(filt.Pred.String(), "o_status") {
+		t.Errorf("pushed predicate = %s", filt.Pred)
+	}
+}
+
+func TestOptimizeKeepsFilterOnComputedColumns(t *testing.T) {
+	db := testDB(t)
+	plan := Scan("orders").
+		Project([]string{"doubled"}, Mul(Col("o_total"), Float(2))).
+		Filter(Gt(Col("doubled"), Float(100))).Node()
+	_, applied := optimizeAndCompare(t, db, plan)
+	for _, a := range applied {
+		if strings.Contains(a, "below projection") {
+			t.Errorf("filter on computed column must not be pushed: %v", applied)
+		}
+	}
+}
+
+func TestOptimizeTPCHQueriesEquivalent(t *testing.T) {
+	// Optimizing every TPC-H analog preserves results. (Uses the test
+	// catalog builder in sim_test.go at a small size for speed.)
+	db := bigDB(t, 2000)
+	plan := Scan("big").
+		Filter(Gt(Col("val"), Float(10))).
+		Filter(Lt(Col("val"), Float(120))).
+		GroupBy([]string{"grp"}, Sum(Col("val"), "s"), Count("n")).
+		OrderBy(SortKey{Col: "s", Desc: true}).Node()
+	_, applied := optimizeAndCompare(t, db, plan)
+	if len(applied) == 0 {
+		t.Error("expected at least the filter fusion")
+	}
+}
+
+func TestOptimizeReducesSimulatedCost(t *testing.T) {
+	db := testDB(t)
+	// Filter above a join: pushing it shrinks the join input.
+	plan := Scan("orders").
+		Join(From(Scan("cust").Node()), "o_cust", "c_id").
+		Filter(Eq(Col("c_name"), Str("alice"))).Node()
+	opt, _, err := Optimize(db, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(n Node) int64 {
+		m := hwsim.PentiumM2005
+		ctx := NewSimContext(db, &m, hwsim.NewVirtualClock())
+		ctx.Buffers.WarmAll(db.TableNames())
+		if _, err := Run(ctx, ColumnEngine{}, n); err != nil {
+			t.Fatal(err)
+		}
+		return int64(ctx.Clock.User())
+	}
+	if co, cu := cost(opt), cost(plan); co >= cu {
+		t.Errorf("optimized cost %d should be below unoptimized %d", co, cu)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	db := testDB(t)
+	if _, _, err := Optimize(db, Scan("nope").Node()); err == nil {
+		t.Error("invalid plan should error")
+	}
+	// All node kinds survive a pass-through rewrite.
+	plan := Scan("orders").
+		Distinct().
+		TopN(3, SortKey{Col: "o_id"}).
+		OrderBy(SortKey{Col: "o_id"}).
+		Limit(2).
+		Aggregate(Count("n")).Node()
+	optimizeAndCompare(t, db, plan)
+}

@@ -1,0 +1,120 @@
+package vdb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Profiler collects a per-operator execution profile: rows produced and
+// simulated time attributed to each plan operator. Its rendered output is
+// the PROFILE/TRACE view the paper recommends over guessing ("Find out
+// what happens!"), and drives the reproduction of the paper's MySQL-vs-
+// MonetDB profile figure.
+type Profiler struct {
+	Engine string
+	Spans  []*Span
+	stack  []*Span
+	clock  interface{ Now() time.Duration }
+}
+
+// Span is one operator's profile entry.
+type Span struct {
+	Op       string
+	Depth    int
+	RowsOut  int
+	Self     time.Duration // time in this operator excluding children
+	Total    time.Duration // time including children
+	children time.Duration
+	start    time.Duration
+}
+
+// NewProfiler profiles against the given clock (usually the execution's
+// VirtualClock).
+func NewProfiler(engine string, clock interface{ Now() time.Duration }) *Profiler {
+	return &Profiler{Engine: engine, clock: clock}
+}
+
+// Begin opens a span for an operator; pair with End.
+func (p *Profiler) Begin(op string) *Span {
+	if p == nil {
+		return nil
+	}
+	s := &Span{Op: op, Depth: len(p.stack), start: p.clock.Now()}
+	p.Spans = append(p.Spans, s)
+	p.stack = append(p.stack, s)
+	return s
+}
+
+// End closes the span, attributing elapsed time minus child time to Self.
+func (p *Profiler) End(s *Span, rowsOut int) {
+	if p == nil || s == nil {
+		return
+	}
+	s.Total = p.clock.Now() - s.start
+	s.Self = s.Total - s.children
+	s.RowsOut = rowsOut
+	// Pop (the span must be the top of the stack in well-formed usage).
+	if len(p.stack) > 0 && p.stack[len(p.stack)-1] == s {
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+	if len(p.stack) > 0 {
+		p.stack[len(p.stack)-1].children += s.Total
+	}
+}
+
+// Record appends a pre-measured span (used by the tuple-at-a-time engine,
+// whose operator times interleave and are accounted per-operator rather
+// than by nesting).
+func (p *Profiler) Record(op string, depth, rowsOut int, self, total time.Duration) {
+	if p == nil {
+		return
+	}
+	p.Spans = append(p.Spans, &Span{Op: op, Depth: depth, RowsOut: rowsOut, Self: self, Total: total})
+}
+
+// TotalTime returns the root span's total, or zero if nothing was profiled.
+func (p *Profiler) TotalTime() time.Duration {
+	if p == nil || len(p.Spans) == 0 {
+		return 0
+	}
+	return p.Spans[0].Total
+}
+
+// SelfTimeByOp aggregates self time per operator name.
+func (p *Profiler) SelfTimeByOp() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range p.Spans {
+		out[opClass(s.Op)] += s.Self
+	}
+	return out
+}
+
+// opClass strips operator details, keeping the leading word ("Filter",
+// "Scan", ...).
+func opClass(op string) string {
+	if i := strings.IndexByte(op, ' '); i > 0 {
+		return op[:i]
+	}
+	return op
+}
+
+// String renders the profile as an indented operator tree with self time,
+// percentage of total, and output rows — the paper's TRACE shape.
+func (p *Profiler) String() string {
+	if p == nil || len(p.Spans) == 0 {
+		return "(empty profile)"
+	}
+	total := p.TotalTime()
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile (%s): total %v\n", p.Engine, total)
+	for _, s := range p.Spans {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.Self) / float64(total)
+		}
+		fmt.Fprintf(&b, "%s%-40s self=%-12v %5.1f%%  rows=%d\n",
+			strings.Repeat("  ", s.Depth), s.Op, s.Self, pct, s.RowsOut)
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package vdb
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// This file checks the engines against brute-force reference
+// implementations on property-generated inputs: a nested-loop join, a
+// straight filter scan, and the sort ordering contract.
+
+func intTable(t *testing.T, name, col string, vals []int64) *Table {
+	t.Helper()
+	tab, err := NewTable(name, NewIntColumn(col, vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestJoinAgainstNestedLoopQuick: hash join output (as a multiset of key
+// pairs) equals the nested-loop reference for arbitrary key multisets.
+func TestJoinAgainstNestedLoopQuick(t *testing.T) {
+	f := func(lRaw, rRaw []uint8) bool {
+		if len(lRaw) == 0 || len(rRaw) == 0 {
+			return true
+		}
+		l := make([]int64, len(lRaw))
+		for i, v := range lRaw {
+			l[i] = int64(v % 16) // small domain forces collisions
+		}
+		r := make([]int64, len(rRaw))
+		for i, v := range rRaw {
+			r[i] = int64(v % 16)
+		}
+		// Reference: nested loop counting matches per key pair.
+		refCount := 0
+		for _, a := range l {
+			for _, b := range r {
+				if a == b {
+					refCount++
+				}
+			}
+		}
+		db := NewDB()
+		lt, err1 := NewTable("l", NewIntColumn("lk", l))
+		rt, err2 := NewTable("r", NewIntColumn("rk", r))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if db.AddTable(lt) != nil || db.AddTable(rt) != nil {
+			return false
+		}
+		plan := Scan("l").Join(From(Scan("r").Node()), "lk", "rk").Node()
+		for _, e := range []Engine{RowEngine{}, ColumnEngine{}} {
+			res, err := Run(NewContext(db), e, plan)
+			if err != nil {
+				return false
+			}
+			if res.NumRows() != refCount {
+				return false
+			}
+			// Every output row must have lk == rk.
+			lc, _ := res.Column("lk")
+			rc, _ := res.Column("rk")
+			for i := 0; i < res.NumRows(); i++ {
+				if lc.Ints[i] != rc.Ints[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFilterAgainstReferenceQuick: the filter keeps exactly the rows a
+// plain loop keeps, preserving order (row engine) or order of selection
+// (column engine) — both equal the input order.
+func TestFilterAgainstReferenceQuick(t *testing.T) {
+	f := func(raw []int16, threshold int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		var ref []int64
+		for i, v := range raw {
+			vals[i] = int64(v)
+			if int64(v) > int64(threshold) {
+				ref = append(ref, int64(v))
+			}
+		}
+		db := NewDB()
+		if db.AddTable(intTable(t, "t", "v", vals)) != nil {
+			return false
+		}
+		plan := Scan("t").Filter(Gt(Col("v"), Int(int64(threshold)))).Node()
+		for _, e := range []Engine{RowEngine{}, ColumnEngine{}} {
+			res, err := Run(NewContext(db), e, plan)
+			if err != nil {
+				return false
+			}
+			c, err := res.Column("v")
+			if err != nil || len(c.Ints) != len(ref) {
+				return false
+			}
+			for i := range ref {
+				if c.Ints[i] != ref[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortContractQuick: engine sort output is a permutation of the input
+// in exactly the order sort.SliceStable produces.
+func TestSortContractQuick(t *testing.T) {
+	f := func(raw []int16, desc bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		ref := append([]int64(nil), vals...)
+		sort.SliceStable(ref, func(a, b int) bool {
+			if desc {
+				return ref[b] < ref[a]
+			}
+			return ref[a] < ref[b]
+		})
+		db := NewDB()
+		if db.AddTable(intTable(t, "t", "v", vals)) != nil {
+			return false
+		}
+		plan := Scan("t").OrderBy(SortKey{Col: "v", Desc: desc}).Node()
+		for _, e := range []Engine{RowEngine{}, ColumnEngine{}} {
+			res, err := Run(NewContext(db), e, plan)
+			if err != nil {
+				return false
+			}
+			c, _ := res.Column("v")
+			for i := range ref {
+				if c.Ints[i] != ref[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregateAgainstReferenceQuick: grouped SUM/COUNT/MIN/MAX equal a map
+// -based reference for arbitrary inputs.
+func TestAggregateAgainstReferenceQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		keys := make([]string, len(raw))
+		vals := make([]int64, len(raw))
+		type agg struct {
+			sum, min, max int64
+			n             int64
+			init          bool
+		}
+		ref := map[string]*agg{}
+		for i, v := range raw {
+			keys[i] = string(rune('a' + (int(v)%4+4)%4))
+			vals[i] = int64(v)
+			a := ref[keys[i]]
+			if a == nil {
+				a = &agg{}
+				ref[keys[i]] = a
+			}
+			a.sum += int64(v)
+			a.n++
+			if !a.init || int64(v) < a.min {
+				a.min = int64(v)
+			}
+			if !a.init || int64(v) > a.max {
+				a.max = int64(v)
+			}
+			a.init = true
+		}
+		db := NewDB()
+		tab, err := NewTable("t", NewStringColumn("g", keys), NewIntColumn("v", vals))
+		if err != nil || db.AddTable(tab) != nil {
+			return false
+		}
+		plan := Scan("t").GroupBy([]string{"g"},
+			Sum(Col("v"), "s"), Count("n"), MinOf(Col("v"), "lo"), MaxOf(Col("v"), "hi")).Node()
+		for _, e := range []Engine{RowEngine{}, ColumnEngine{}} {
+			res, err := Run(NewContext(db), e, plan)
+			if err != nil || res.NumRows() != len(ref) {
+				return false
+			}
+			g, _ := res.Column("g")
+			s, _ := res.Column("s")
+			n, _ := res.Column("n")
+			lo, _ := res.Column("lo")
+			hi, _ := res.Column("hi")
+			for i := 0; i < res.NumRows(); i++ {
+				a := ref[g.Strs[i]]
+				if a == nil || s.Ints[i] != a.sum || n.Ints[i] != a.n || lo.Ints[i] != a.min || hi.Ints[i] != a.max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package vdb
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"repro/internal/hwsim"
+)
+
+// DistinctNode removes duplicate rows (over all columns), preserving
+// first-occurrence order.
+type DistinctNode struct {
+	Child Node
+}
+
+// Children implements Node.
+func (n *DistinctNode) Children() []Node { return []Node{n.Child} }
+
+// Describe implements Node.
+func (n *DistinctNode) Describe() string { return "Distinct" }
+
+// TopNNode keeps the N smallest rows under the sort keys without fully
+// sorting the input — the heap-based alternative to Sort+Limit. The
+// ablation benchmark Benchmark_Ablation_TopN quantifies the difference.
+type TopNNode struct {
+	Child Node
+	Keys  []SortKey
+	N     int
+}
+
+// Children implements Node.
+func (n *TopNNode) Children() []Node { return []Node{n.Child} }
+
+// Describe implements Node.
+func (n *TopNNode) Describe() string {
+	parts := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		parts[i] = k.String()
+	}
+	return fmt.Sprintf("TopN %d by %s", n.N, strings.Join(parts, ", "))
+}
+
+// Distinct appends duplicate elimination to the plan.
+func (p *Plan) Distinct() *Plan {
+	return &Plan{node: &DistinctNode{Child: p.node}}
+}
+
+// TopN appends a heap-based top-N to the plan.
+func (p *Plan) TopN(n int, keys ...SortKey) *Plan {
+	return &Plan{node: &TopNNode{Child: p.node, Keys: keys, N: n}}
+}
+
+// rowKey renders a row for duplicate detection.
+func rowKey(row []Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// --- schema inference (extends OutputSchema's switch via dispatch) ---
+
+func distinctTopNSchema(db *DB, n Node) (*Schema, bool, error) {
+	switch node := n.(type) {
+	case *DistinctNode:
+		s, err := OutputSchema(db, node.Child)
+		return s, true, err
+	case *TopNNode:
+		s, err := OutputSchema(db, node.Child)
+		if err != nil {
+			return nil, true, err
+		}
+		if node.N < 0 {
+			return nil, true, fmt.Errorf("vdb: negative top-N %d", node.N)
+		}
+		if len(node.Keys) == 0 {
+			return nil, true, fmt.Errorf("vdb: top-N needs sort keys")
+		}
+		for _, k := range node.Keys {
+			if _, err := s.IndexOf(k.Col); err != nil {
+				return nil, true, fmt.Errorf("vdb: top-N key: %w", err)
+			}
+		}
+		return s, true, nil
+	}
+	return nil, false, nil
+}
+
+// --- column engine execution ---
+
+func (e ColumnEngine) execDistinct(ctx *ExecContext, node *DistinctNode) (*Table, error) {
+	child, err := e.exec(ctx, node.Child)
+	if err != nil {
+		return nil, err
+	}
+	n := child.NumRows()
+	ctx.chargeValueWork(n*len(child.Cols), hwsim.OpAggregate)
+	ctx.chargeRandomMemory(n, 1<<20)
+	seen := make(map[string]bool, n)
+	var sel []int
+	for i := 0; i < n; i++ {
+		k := rowKey(child.Row(i))
+		if !seen[k] {
+			seen[k] = true
+			sel = append(sel, i)
+		}
+	}
+	return gatherTable(ctx, child, sel, hwsim.OpAggregate, "distinct")
+}
+
+// topHeap is a max-heap of row indices under the inverted comparator, so
+// the root is the WORST of the current top-N and pops first.
+type topHeap struct {
+	idx  []int
+	less func(a, b int) bool // true when row a ranks before row b
+}
+
+func (h *topHeap) Len() int           { return len(h.idx) }
+func (h *topHeap) Less(i, j int) bool { return h.less(h.idx[j], h.idx[i]) }
+func (h *topHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *topHeap) Push(x any)         { h.idx = append(h.idx, x.(int)) }
+func (h *topHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+func (e ColumnEngine) execTopN(ctx *ExecContext, node *TopNNode) (*Table, error) {
+	child, err := e.exec(ctx, node.Child)
+	if err != nil {
+		return nil, err
+	}
+	n := child.NumRows()
+	keyCols := make([]*Column, len(node.Keys))
+	for i, k := range node.Keys {
+		keyCols[i], err = child.Column(k.Col)
+		if err != nil {
+			return nil, err
+		}
+	}
+	limit := node.N
+	if limit > n {
+		limit = n
+	}
+	// Heap maintenance costs ~log(limit) per row instead of log(n).
+	ctx.chargeValueWork(n*log2ceil(limit+1)*len(node.Keys), hwsim.OpSort)
+
+	less := func(a, b int) bool { return lessByKeys(keyCols, node.Keys, a, b) }
+	h := &topHeap{less: less}
+	heap.Init(h)
+	for i := 0; i < n; i++ {
+		if h.Len() < limit {
+			heap.Push(h, i)
+		} else if limit > 0 && less(i, h.idx[0]) {
+			h.idx[0] = i
+			heap.Fix(h, 0)
+		}
+	}
+	// Drain in reverse rank order, then reverse for ascending output.
+	sel := make([]int, h.Len())
+	for i := len(sel) - 1; i >= 0; i-- {
+		sel[i] = heap.Pop(h).(int)
+	}
+	return gatherTable(ctx, child, sel, hwsim.OpSort, "topn")
+}
+
+// --- row engine execution ---
+
+type distinctIter struct {
+	ctx   *ExecContext
+	child rowIter
+	seen  map[string]bool
+	st    opStats
+}
+
+func (it *distinctIter) Open() error {
+	it.seen = make(map[string]bool)
+	return it.child.Open()
+}
+
+func (it *distinctIter) Next() ([]Value, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		dup := false
+		charge(it.ctx, &it.st, func() {
+			it.ctx.chargeTupleOverhead(1, hwsim.OpAggregate)
+			k := rowKey(row)
+			dup = it.seen[k]
+			it.seen[k] = true
+		})
+		if !dup {
+			it.st.rows++
+			return row, true, nil
+		}
+	}
+}
+
+func (it *distinctIter) Close()              { it.child.Close() }
+func (it *distinctIter) stats() *opStats     { return &it.st }
+func (it *distinctIter) children() []rowIter { return []rowIter{it.child} }
+
+type topNIter struct {
+	ctx    *ExecContext
+	child  rowIter
+	keys   []SortKey
+	keyIdx []int
+	n      int
+	rows   [][]Value
+	idx    int
+	st     opStats
+}
+
+func (it *topNIter) Open() error {
+	if err := it.child.Open(); err != nil {
+		return err
+	}
+	less := func(a, b []Value) bool {
+		for i, k := range it.keys {
+			va, vb := a[it.keyIdx[i]], b[it.keyIdx[i]]
+			if va.Equal(vb) {
+				continue
+			}
+			if k.Desc {
+				return vb.Less(va)
+			}
+			return va.Less(vb)
+		}
+		return false
+	}
+	h := &rowHeap{less: less}
+	heap.Init(h)
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		charge(it.ctx, &it.st, func() {
+			it.ctx.chargeTupleOverhead(1, hwsim.OpSort)
+			if h.Len() < it.n {
+				heap.Push(h, row)
+			} else if it.n > 0 && less(row, h.rows[0]) {
+				h.rows[0] = row
+				heap.Fix(h, 0)
+			}
+		})
+	}
+	it.rows = make([][]Value, h.Len())
+	for i := len(it.rows) - 1; i >= 0; i-- {
+		it.rows[i] = heap.Pop(h).([]Value)
+	}
+	return nil
+}
+
+func (it *topNIter) Next() ([]Value, bool, error) {
+	if it.idx >= len(it.rows) {
+		return nil, false, nil
+	}
+	row := it.rows[it.idx]
+	it.idx++
+	it.st.rows++
+	return row, true, nil
+}
+
+func (it *topNIter) Close()              { it.child.Close() }
+func (it *topNIter) stats() *opStats     { return &it.st }
+func (it *topNIter) children() []rowIter { return []rowIter{it.child} }
+
+// rowHeap is a max-heap of rows (root = worst of the kept top-N).
+type rowHeap struct {
+	rows [][]Value
+	less func(a, b []Value) bool
+}
+
+func (h *rowHeap) Len() int           { return len(h.rows) }
+func (h *rowHeap) Less(i, j int) bool { return h.less(h.rows[j], h.rows[i]) }
+func (h *rowHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *rowHeap) Push(x any)         { h.rows = append(h.rows, x.([]Value)) }
+func (h *rowHeap) Pop() any {
+	old := h.rows
+	n := len(old)
+	x := old[n-1]
+	h.rows = old[:n-1]
+	return x
+}

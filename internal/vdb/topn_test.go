@@ -1,0 +1,232 @@
+package vdb
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistinctBothEngines(t *testing.T) {
+	db := NewDB()
+	tab, _ := NewTable("t",
+		NewIntColumn("a", []int64{1, 2, 1, 3, 2, 1}),
+		NewStringColumn("b", []string{"x", "y", "x", "z", "y", "q"}),
+	)
+	if err := db.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	plan := Scan("t").Distinct().Node()
+	res := runBoth(t, db, plan)
+	// Distinct rows: (1,x), (2,y), (3,z), (1,q).
+	if res.NumRows() != 4 {
+		t.Fatalf("distinct rows = %d, want 4", res.NumRows())
+	}
+	// First-occurrence order preserved (row engine result).
+	a, _ := res.Column("a")
+	b, _ := res.Column("b")
+	if a.Ints[0] != 1 || b.Strs[0] != "x" || a.Ints[3] != 1 || b.Strs[3] != "q" {
+		t.Errorf("order: a=%v b=%v", a.Ints, b.Strs)
+	}
+	// Explain mentions the operator.
+	if !strings.Contains(Explain(plan), "Distinct") {
+		t.Error("explain missing Distinct")
+	}
+}
+
+func TestDistinctOnProjection(t *testing.T) {
+	db := testDB(t)
+	plan := Scan("orders").
+		Project([]string{"o_status"}, Col("o_status")).
+		Distinct().Node()
+	res := runBoth(t, db, plan)
+	if res.NumRows() != 2 {
+		t.Errorf("distinct statuses = %d, want 2", res.NumRows())
+	}
+}
+
+func TestTopNBothEngines(t *testing.T) {
+	db := testDB(t)
+	topn := Scan("orders").TopN(2, SortKey{Col: "o_total", Desc: true}).Node()
+	sortLimit := Scan("orders").OrderBy(SortKey{Col: "o_total", Desc: true}).Limit(2).Node()
+	for _, e := range engines() {
+		a, err := Run(NewContext(db), e, topn)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		b, err := Run(NewContext(db), e, sortLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.CSV() != b.CSV() {
+			t.Errorf("%s: TopN != Sort+Limit:\n%s\nvs\n%s", e.Name(), a.CSV(), b.CSV())
+		}
+	}
+}
+
+func TestTopNEdgeCases(t *testing.T) {
+	db := testDB(t)
+	// N larger than input: all rows, sorted.
+	res := runBoth(t, db, Scan("orders").TopN(100, SortKey{Col: "o_id"}).Node())
+	if res.NumRows() != 5 {
+		t.Errorf("overlarge N rows = %d", res.NumRows())
+	}
+	// N = 0: empty.
+	res0 := runBoth(t, db, Scan("orders").TopN(0, SortKey{Col: "o_id"}).Node())
+	if res0.NumRows() != 0 {
+		t.Errorf("N=0 rows = %d", res0.NumRows())
+	}
+	// Validation errors.
+	for _, bad := range []Node{
+		Scan("orders").TopN(-1, SortKey{Col: "o_id"}).Node(),
+		Scan("orders").TopN(2).Node(),
+		Scan("orders").TopN(2, SortKey{Col: "bogus"}).Node(),
+	} {
+		for _, e := range engines() {
+			if _, err := Run(NewContext(db), e, bad); err == nil {
+				t.Errorf("%s: invalid TopN should error", e.Name())
+			}
+		}
+	}
+}
+
+func TestTopNMultiKey(t *testing.T) {
+	db := testDB(t)
+	plan := Scan("orders").TopN(3, SortKey{Col: "o_status"}, SortKey{Col: "o_total", Desc: true}).Node()
+	ref := Scan("orders").OrderBy(SortKey{Col: "o_status"}, SortKey{Col: "o_total", Desc: true}).Limit(3).Node()
+	a, err := Run(NewContext(db), ColumnEngine{}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(NewContext(db), ColumnEngine{}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Errorf("multi-key TopN mismatch:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+}
+
+// Property: TopN(k) equals the first k values of a full sort, on both
+// engines, for arbitrary inputs. (Ties may order differently between heap
+// and stable sort, so compare sorted VALUES not row identity.)
+func TestTopNAgainstSortQuick(t *testing.T) {
+	f := func(raw []int16, kRaw uint8, desc bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kRaw)%(len(raw)+2) + 1
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		ref := append([]int64(nil), vals...)
+		sort.Slice(ref, func(a, b int) bool {
+			if desc {
+				return ref[b] < ref[a]
+			}
+			return ref[a] < ref[b]
+		})
+		if k > len(ref) {
+			k = len(ref)
+		}
+		want := ref[:k]
+
+		db := NewDB()
+		tab, err := NewTable("t", NewIntColumn("v", vals))
+		if err != nil || db.AddTable(tab) != nil {
+			return false
+		}
+		plan := Scan("t").TopN(k, SortKey{Col: "v", Desc: desc}).Node()
+		for _, e := range []Engine{RowEngine{}, ColumnEngine{}} {
+			res, err := Run(NewContext(db), e, plan)
+			if err != nil {
+				return false
+			}
+			c, _ := res.Column("v")
+			if len(c.Ints) != k {
+				return false
+			}
+			for i := range want {
+				if c.Ints[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Distinct output has no duplicates and covers every input value,
+// on both engines.
+func TestDistinctQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		inSet := map[int64]bool{}
+		for i, v := range raw {
+			vals[i] = int64(v % 8)
+			inSet[vals[i]] = true
+		}
+		db := NewDB()
+		tab, err := NewTable("t", NewIntColumn("v", vals))
+		if err != nil || db.AddTable(tab) != nil {
+			return false
+		}
+		plan := Scan("t").Distinct().Node()
+		for _, e := range []Engine{RowEngine{}, ColumnEngine{}} {
+			res, err := Run(NewContext(db), e, plan)
+			if err != nil {
+				return false
+			}
+			c, _ := res.Column("v")
+			got := map[int64]bool{}
+			for _, v := range c.Ints {
+				if got[v] {
+					return false // duplicate survived
+				}
+				got[v] = true
+			}
+			if len(got) != len(inSet) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopNSimulatedCheaperThanSort: under the cost model, TopN with small k
+// charges less sort work than a full Sort+Limit on the same input.
+func TestTopNSimulatedCheaperThanSort(t *testing.T) {
+	n := 20000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64((i * 48271) % 65536)
+	}
+	db := NewDB()
+	tab, _ := NewTable("big", NewIntColumn("v", vals))
+	if err := db.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	timeFor := func(plan Node) int64 {
+		ctx := simCtx(db)
+		ctx.Buffers.WarmAll([]string{"big"})
+		if _, err := Run(ctx, ColumnEngine{}, plan); err != nil {
+			t.Fatal(err)
+		}
+		return int64(ctx.Clock.User())
+	}
+	topn := timeFor(Scan("big").TopN(10, SortKey{Col: "v"}).Node())
+	sortLimit := timeFor(Scan("big").OrderBy(SortKey{Col: "v"}).Limit(10).Node())
+	if topn >= sortLimit {
+		t.Errorf("TopN (%d ns) should be cheaper than Sort+Limit (%d ns)", topn, sortLimit)
+	}
+}

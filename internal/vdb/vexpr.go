@@ -1,0 +1,215 @@
+package vdb
+
+import "fmt"
+
+// EvalColumn evaluates an expression column-at-a-time over a materialized
+// table, producing a full result column — the MonetDB-style execution path.
+// Numeric work runs in tight typed loops over whole slices.
+func EvalColumn(e Expr, t *Table) (*Column, error) {
+	n := t.NumRows()
+	switch ex := e.(type) {
+	case ColRef:
+		c, err := t.Column(ex.Name)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+
+	case ConstExpr:
+		out := &Column{Name: ex.String(), Type: ex.Val.Typ}
+		switch ex.Val.Typ {
+		case TInt:
+			out.Ints = make([]int64, n)
+			for i := range out.Ints {
+				out.Ints[i] = ex.Val.I
+			}
+		case TFloat:
+			out.Floats = make([]float64, n)
+			for i := range out.Floats {
+				out.Floats[i] = ex.Val.F
+			}
+		default:
+			out.Strs = make([]string, n)
+			for i := range out.Strs {
+				out.Strs[i] = ex.Val.S
+			}
+		}
+		return out, nil
+
+	case ArithExpr:
+		l, err := EvalColumn(ex.L, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalColumn(ex.R, t)
+		if err != nil {
+			return nil, err
+		}
+		return arithColumn(ex, l, r, n)
+
+	case CmpExpr:
+		l, err := EvalColumn(ex.L, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalColumn(ex.R, t)
+		if err != nil {
+			return nil, err
+		}
+		return cmpColumn(ex, l, r, n)
+
+	case BoolExpr:
+		l, err := EvalColumn(ex.L, t)
+		if err != nil {
+			return nil, err
+		}
+		out := NewIntColumn(ex.String(), make([]int64, n))
+		if ex.Op == BoolNot {
+			for i := 0; i < n; i++ {
+				if !truthy(l.Value(i)) {
+					out.Ints[i] = 1
+				}
+			}
+			return out, nil
+		}
+		r, err := EvalColumn(ex.R, t)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			lt, rt := truthy(l.Value(i)), truthy(r.Value(i))
+			var v bool
+			if ex.Op == BoolAnd {
+				v = lt && rt
+			} else {
+				v = lt || rt
+			}
+			if v {
+				out.Ints[i] = 1
+			}
+		}
+		return out, nil
+
+	case LikeExpr:
+		operand, err := EvalColumn(ex.Operand, t)
+		if err != nil {
+			return nil, err
+		}
+		if operand.Type != TString {
+			return nil, fmt.Errorf("vdb: LIKE on %s column", operand.Type)
+		}
+		out := NewIntColumn(ex.String(), make([]int64, n))
+		for i, s := range operand.Strs {
+			if ex.match(s) {
+				out.Ints[i] = 1
+			}
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("vdb: unknown expression %T", e)
+	}
+}
+
+func arithColumn(ex ArithExpr, l, r *Column, n int) (*Column, error) {
+	if l.Type == TString || r.Type == TString {
+		return nil, fmt.Errorf("vdb: arithmetic on string in %s", ex)
+	}
+	name := ex.String()
+	if l.Type == TInt && r.Type == TInt {
+		out := NewIntColumn(name, make([]int64, n))
+		for i := 0; i < n; i++ {
+			a, b := l.Ints[i], r.Ints[i]
+			switch ex.Op {
+			case OpAdd:
+				out.Ints[i] = a + b
+			case OpSub:
+				out.Ints[i] = a - b
+			case OpMul:
+				out.Ints[i] = a * b
+			default:
+				if b == 0 {
+					return nil, fmt.Errorf("vdb: integer division by zero in %s", ex)
+				}
+				out.Ints[i] = a / b
+			}
+		}
+		return out, nil
+	}
+	lf := asFloats(l)
+	rf := asFloats(r)
+	out := NewFloatColumn(name, make([]float64, n))
+	switch ex.Op {
+	case OpAdd:
+		for i := 0; i < n; i++ {
+			out.Floats[i] = lf[i] + rf[i]
+		}
+	case OpSub:
+		for i := 0; i < n; i++ {
+			out.Floats[i] = lf[i] - rf[i]
+		}
+	case OpMul:
+		for i := 0; i < n; i++ {
+			out.Floats[i] = lf[i] * rf[i]
+		}
+	default:
+		for i := 0; i < n; i++ {
+			if rf[i] == 0 {
+				return nil, fmt.Errorf("vdb: division by zero in %s", ex)
+			}
+			out.Floats[i] = lf[i] / rf[i]
+		}
+	}
+	return out, nil
+}
+
+func cmpColumn(ex CmpExpr, l, r *Column, n int) (*Column, error) {
+	if (l.Type == TString) != (r.Type == TString) {
+		return nil, fmt.Errorf("vdb: comparing string with numeric in %s", ex)
+	}
+	out := NewIntColumn(ex.String(), make([]int64, n))
+	if l.Type == TString {
+		for i := 0; i < n; i++ {
+			if evalCmp(ex.Op, StrVal(l.Strs[i]), StrVal(r.Strs[i])) {
+				out.Ints[i] = 1
+			}
+		}
+		return out, nil
+	}
+	lf := asFloats(l)
+	rf := asFloats(r)
+	for i := 0; i < n; i++ {
+		var v bool
+		a, b := lf[i], rf[i]
+		switch ex.Op {
+		case CmpEQ:
+			v = a == b
+		case CmpNE:
+			v = a != b
+		case CmpLT:
+			v = a < b
+		case CmpLE:
+			v = a <= b
+		case CmpGT:
+			v = a > b
+		default:
+			v = a >= b
+		}
+		if v {
+			out.Ints[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// asFloats views a numeric column as float64s (copying for int columns).
+func asFloats(c *Column) []float64 {
+	if c.Type == TFloat {
+		return c.Floats
+	}
+	out := make([]float64, len(c.Ints))
+	for i, v := range c.Ints {
+		out[i] = float64(v)
+	}
+	return out
+}

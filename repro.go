@@ -1,0 +1,30 @@
+// Package repro reproduces "Performance Evaluation in Database Research:
+// Principles and Experiences" (Manolescu & Manegold, ICDE 2008 / EDBT 2009)
+// as a Go library: the experiment-methodology pipeline the paper teaches
+// (internal/core, internal/design, internal/measure, internal/stats,
+// internal/harness, internal/plot, internal/config, internal/sysinfo,
+// internal/repeat) plus the substrates its worked examples run on
+// (internal/vdb, internal/tpch, internal/hwsim, internal/netsim).
+//
+// This root package exposes the per-table/per-figure experiment drivers so
+// the repository-level benchmarks (bench_test.go) and the perfeval CLI can
+// regenerate every artifact of the paper's evaluation.
+package repro
+
+import "repro/internal/paperexp"
+
+// Result is one regenerated table or figure of the paper.
+type Result = paperexp.Result
+
+// Experiment is one registered experiment driver.
+type Experiment = paperexp.Entry
+
+// Experiments lists every reproducible table and figure in paper order.
+func Experiments() []Experiment { return paperexp.Registry() }
+
+// RunExperiment regenerates the artifact with the given id (t1..t10,
+// f1..f7, case-insensitive).
+func RunExperiment(id string) (*Result, error) { return paperexp.Run(id) }
+
+// RunAllExperiments regenerates every artifact.
+func RunAllExperiments() ([]*Result, error) { return paperexp.RunAll() }

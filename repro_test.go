@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperexp"
+)
+
+func TestPublicAPI(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 17 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+	r, err := RunExperiment("t4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "40") {
+		t.Error("t4 text missing mean")
+	}
+	if _, err := RunExperiment("zzz"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestRunAllExperimentsMatchesRegistry(t *testing.T) {
+	results, err := RunAllExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := paperexp.Registry()
+	if len(results) != len(reg) {
+		t.Fatalf("results = %d, registry = %d", len(results), len(reg))
+	}
+	for i, r := range results {
+		if r.ID != reg[i].ID {
+			t.Errorf("result %d id = %s, want %s", i, r.ID, reg[i].ID)
+		}
+	}
+}
