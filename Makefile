@@ -1,0 +1,28 @@
+GO ?= go
+
+# The default target is what CI runs on every PR: vet plus the full test
+# suite under the race detector, so the concurrent scheduler
+# (internal/sched) and the journal (internal/runstore) are race-checked
+# on every change.
+.PHONY: check
+check: vet race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -3,21 +3,41 @@
 // Usage:
 //
 //	perfeval list
-//	perfeval run <id>|all [-Dout.dir=DIR]
+//	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR]
+//	perfeval diff <baseline.jsonl> <current.jsonl> [-Ddiff.confidence=0.95] [-Ddiff.tolerance=0.05]
 //	perfeval suite
 //
 // run prints the artifact to stdout; with -Dout.dir=DIR it also writes
-// res/<id>.txt under DIR. suite prints the repeatability instructions for
-// the whole experiment set.
+// res/<id>.txt under DIR (creating directories as needed). With
+// -Dsched.workers=N and/or -Djournal.dir=DIR the harness executes
+// through the concurrent scheduler (internal/sched): design rows run in
+// parallel on N workers, completed units are journaled under DIR, and a
+// re-run warm-starts from the journal, skipping completed rows.
+// -Dsched.retries=N and -Dsched.timeout=DUR tune per-unit retry and
+// timeout.
+//
+// diff loads two run journals, aggregates them per (assignment,
+// response), and applies the regression gate (internal/runstore):
+// confidence intervals that have shifted versus the baseline are flagged
+// and the command exits non-zero — a CI guard for performance work.
+//
+// suite prints the repeatability instructions for the whole experiment
+// set.
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 
 	"repro/internal/config"
+	"repro/internal/harness"
 	"repro/internal/paperexp"
+	"repro/internal/runstore"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -27,19 +47,21 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runW(os.Stdout, args) }
+
+func runW(w io.Writer, args []string) error {
 	props := config.New(nil)
 	rest, err := props.ApplyArgs(args)
 	if err != nil {
 		return err
 	}
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: perfeval list | run <id>|all | suite")
+		return fmt.Errorf("usage: perfeval list | run <id>|all | diff <baseline> <current> | suite")
 	}
 	switch rest[0] {
 	case "list":
 		for _, e := range paperexp.Registry() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(w, "%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
 
@@ -47,6 +69,11 @@ func run(args []string) error {
 		if len(rest) < 2 {
 			return fmt.Errorf("usage: perfeval run <id>|all")
 		}
+		restore, err := installExecutor(w, props)
+		if err != nil {
+			return err
+		}
+		defer restore()
 		outDir := props.GetOr("out.dir", "")
 		var results []*paperexp.Result
 		if rest[1] == "all" {
@@ -64,9 +91,9 @@ func run(args []string) error {
 			}
 		}
 		for _, r := range results {
-			fmt.Printf("=== %s (slides %s): %s ===\n\n%s\n", r.ID, r.Slides, r.Title, r.Text)
+			fmt.Fprintf(w, "=== %s (slides %s): %s ===\n\n%s\n", r.ID, r.Slides, r.Title, r.Text)
 			if r.Notes != "" {
-				fmt.Printf("notes: %s\n\n", r.Notes)
+				fmt.Fprintf(w, "notes: %s\n\n", r.Notes)
 			}
 			if outDir != "" {
 				dir := filepath.Join(outDir, "res")
@@ -77,16 +104,138 @@ func run(args []string) error {
 				if err := os.WriteFile(path, []byte(r.Text), 0o644); err != nil {
 					return err
 				}
-				fmt.Printf("wrote %s\n\n", path)
+				fmt.Fprintf(w, "wrote %s\n\n", path)
 			}
 		}
 		return nil
 
+	case "diff":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: perfeval diff <baseline.jsonl> <current.jsonl>")
+		}
+		return diff(w, props, rest[1], rest[2])
+
 	case "suite":
-		fmt.Print(paperexp.PaperSuite().Instructions())
+		fmt.Fprint(w, paperexp.PaperSuite().Instructions())
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, or suite)", rest[0])
+		return fmt.Errorf("unknown command %q (want list, run, diff, or suite)", rest[0])
 	}
+}
+
+// installExecutor swaps in the concurrent scheduler when sched.* or
+// journal.* properties ask for it, returning a restore function. With
+// none of those properties set it is a no-op: the sequential executor
+// stays, keeping measurements unperturbed by concurrency.
+func installExecutor(w io.Writer, props *config.Properties) (restore func(), err error) {
+	workersSet := props.GetOr("sched.workers", "") != ""
+	journalDir := props.GetOr("journal.dir", "")
+	if !workersSet && journalDir == "" {
+		return func() {}, nil
+	}
+	opts := sched.Options{JournalDir: journalDir}
+	if workersSet {
+		if opts.Workers, err = props.GetInt("sched.workers"); err != nil {
+			return nil, err
+		}
+		if opts.Workers < 1 {
+			return nil, fmt.Errorf("sched.workers = %d, need >= 1", opts.Workers)
+		}
+	} else {
+		// Resolve the scheduler's GOMAXPROCS default here so the banner
+		// reports the worker count that actually runs.
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if props.GetOr("sched.retries", "") != "" {
+		if opts.Retries, err = props.GetInt("sched.retries"); err != nil {
+			return nil, err
+		}
+	}
+	if props.GetOr("sched.timeout", "") != "" {
+		if opts.Timeout, err = props.GetDuration("sched.timeout"); err != nil {
+			return nil, err
+		}
+	}
+	s := sched.New(opts)
+	fmt.Fprintf(w, "scheduler: %d workers", opts.Workers)
+	if journalDir != "" {
+		fmt.Fprintf(w, ", journal %s", journalDir)
+	}
+	fmt.Fprintln(w)
+	prev := harness.SetDefaultExecutor(s)
+	return func() { harness.SetDefaultExecutor(prev) }, nil
+}
+
+// diff gates a current run journal against a baseline journal and
+// returns an error when any cell regressed, so CI pipelines can fail on
+// the exit code.
+func diff(w io.Writer, props *config.Properties, basePath, curPath string) error {
+	opt := runstore.GateOptions{}
+	var err error
+	if props.GetOr("diff.confidence", "") != "" {
+		if opt.Confidence, err = props.GetFloat("diff.confidence"); err != nil {
+			return err
+		}
+	}
+	if props.GetOr("diff.tolerance", "") != "" {
+		if opt.Tolerance, err = props.GetFloat("diff.tolerance"); err != nil {
+			return err
+		}
+	}
+	baseRecs, err := runstore.LoadRecords(basePath)
+	if err != nil {
+		return err
+	}
+	curRecs, err := runstore.LoadRecords(curPath)
+	if err != nil {
+		return err
+	}
+	baseSums := runstore.Summarize(baseRecs)
+	curByExp := map[string]*runstore.Summary{}
+	for _, s := range runstore.Summarize(curRecs) {
+		curByExp[s.Experiment] = s
+	}
+	if len(baseSums) == 0 {
+		return fmt.Errorf("baseline %s holds no records", basePath)
+	}
+	if len(curByExp) == 0 {
+		return fmt.Errorf("current %s holds no records (crashed before the first append?)", curPath)
+	}
+	// A baseline experiment or cell absent from the current run fails the
+	// gate just like a regression: "we no longer measure it" must never
+	// read as "it did not regress".
+	regressions, missing := 0, 0
+	for _, base := range baseSums {
+		cur, ok := curByExp[base.Experiment]
+		if !ok {
+			fmt.Fprintf(w, "experiment %q: absent from current run\n", base.Experiment)
+			missing += len(base.Rows)
+			continue
+		}
+		delete(curByExp, base.Experiment)
+		report, err := runstore.Gate(base, cur, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, report)
+		regressions += len(report.Regressions())
+		for _, f := range report.Findings {
+			if f.Verdict == runstore.Missing {
+				missing++
+			}
+		}
+	}
+	var onlyCur []string
+	for name := range curByExp {
+		onlyCur = append(onlyCur, name)
+	}
+	sort.Strings(onlyCur)
+	for _, name := range onlyCur {
+		fmt.Fprintf(w, "experiment %q: in current only, skipped\n", name)
+	}
+	if regressions > 0 || missing > 0 {
+		return fmt.Errorf("%d cell(s) regressed, %d cell(s) missing versus baseline %s", regressions, missing, basePath)
+	}
+	return nil
 }

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/runstore"
 )
 
 func TestPerfevalCommands(t *testing.T) {
@@ -33,9 +37,177 @@ func TestPerfevalCommands(t *testing.T) {
 		{"run", "zzz"},
 		{"bogus"},
 		{"-Dmalformed", "list"},
+		{"diff"},
+		{"diff", "only-one.jsonl"},
+		{"diff", "absent-a.jsonl", "absent-b.jsonl"},
+		{"-Dsched.workers=zero", "run", "t4"},
+		{"-Dsched.workers=0", "run", "t4"},
+		{"-Dsched.timeout=nonsense", "-Djournal.dir=x", "run", "t4"},
 	} {
 		if err := run(bad); err == nil {
 			t.Errorf("run(%v) should error", bad)
 		}
+	}
+}
+
+// TestOutDirCreated covers out.dir pointing at a directory that does not
+// exist yet: run must create it (MkdirAll) instead of failing.
+func TestOutDirCreated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "deeply", "nested", "out")
+	if err := run([]string{"-Dout.dir=" + dir, "run", "t3"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "res", "t3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 50 {
+		t.Errorf("artifact too short: %d bytes", len(data))
+	}
+}
+
+// TestJournaledRunWarmStarts runs the harness-backed t4 experiment
+// through the concurrent scheduler twice over the same journal: the
+// second run must replay every completed row (no new journal appends)
+// and produce the identical artifact.
+func TestJournaledRunWarmStarts(t *testing.T) {
+	jdir := t.TempDir()
+	args := []string{"-Dsched.workers=4", "-Djournal.dir=" + jdir, "run", "t4"}
+	var cold bytes.Buffer
+	if err := runW(&cold, args); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(jdir, "*.jsonl"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("journal files = %v (err %v), want exactly 1", entries, err)
+	}
+	before, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("cold run journaled nothing")
+	}
+
+	var warm bytes.Buffer
+	if err := runW(&warm, args); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("warm re-run appended to the journal; completed rows were re-executed")
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("warm artifact differs from cold:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+
+	// The sequential executor must agree with the scheduled run.
+	var seq bytes.Buffer
+	if err := runW(&seq, []string{"run", "t4"}); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Replace(cold.String(), "scheduler: 4 workers, journal "+jdir+"\n", "", 1)
+	if seq.String() != want {
+		t.Errorf("scheduled artifact differs from sequential:\nsequential:\n%s\nscheduled:\n%s", seq.String(), want)
+	}
+}
+
+// TestDiffFlagsSeededRegression builds a baseline journal and a current
+// journal whose hot cell is 50% slower, and expects diff to report the
+// regression and fail.
+func TestDiffFlagsSeededRegression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, hi float64) string {
+		path := filepath.Join(dir, name)
+		j, err := runstore.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		for rep := 0; rep < 3; rep++ {
+			noise := float64(rep-1) * 0.2
+			for row, cell := range []struct {
+				level string
+				value float64
+			}{
+				{"lo", 10},
+				{"hi", hi},
+			} {
+				a := map[string]string{"f": cell.level}
+				err := j.Append(runstore.Record{
+					Experiment: "q1-scan", Row: row, Replicate: rep,
+					Assignment: a,
+					Responses:  map[string]float64{"ms": cell.value + noise},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return path
+	}
+	base := write("baseline.jsonl", 20)
+	slower := write("current.jsonl", 30)
+
+	var out bytes.Buffer
+	err := runW(&out, []string{"diff", base, slower})
+	if err == nil {
+		t.Fatal("diff should fail on a regression")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error should count regressions: %v", err)
+	}
+	for _, want := range []string{"q1-scan", "REGRESSED", "f=hi", "regressed 1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Identical journals: clean diff, exit zero.
+	out.Reset()
+	if err := runW(&out, []string{"diff", base, base}); err != nil {
+		t.Errorf("identical journals should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "regressed 0") {
+		t.Errorf("clean diff should report zero regressions:\n%s", out.String())
+	}
+
+	// A current journal that crashed before its first append (exists but
+	// empty) must fail the gate, not pass it by vacuous truth.
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runW(&out, []string{"diff", base, empty}); err == nil {
+		t.Error("empty current journal should fail the gate")
+	}
+
+	// A current journal missing cells the baseline has must fail too.
+	partial := filepath.Join(dir, "partial.jsonl")
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if !strings.Contains(line, `"hi"`) {
+			kept = append(kept, line)
+		}
+	}
+	if err := os.WriteFile(partial, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = runW(&out, []string{"diff", base, partial})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("dropped cell should fail the gate with a missing count, got %v", err)
+	}
+
+	// An invalid confidence must error, not silently fall back.
+	if err := runW(&out, []string{"-Ddiff.confidence=95", "diff", base, base}); err == nil {
+		t.Error("confidence=95 (percent, not fraction) should be rejected")
 	}
 }

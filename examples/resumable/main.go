@@ -1,0 +1,132 @@
+// Resumable: run an experiment through the concurrent scheduler with a
+// persistent run journal, survive a mid-run crash, warm-start the rest,
+// and gate the finished run against a stored baseline.
+//
+// The walkthrough:
+//
+//  1. a full-factorial design (3 x 3 x 3 replicates = 27 units) over a
+//     deterministic simulated workload;
+//  2. pass 1 "crashes" partway: the runner fails once a quota of units
+//     has completed, leaving a partial journal on disk — exactly what a
+//     killed process leaves behind;
+//  3. pass 2 reopens the same journal: completed units replay from disk,
+//     only the remainder executes;
+//  4. the result is saved as a baseline, a "regressed" build is run, and
+//     the regression gate flags the cells whose confidence intervals
+//     shifted.
+//
+// Run with: go run ./examples/resumable
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/design"
+	"repro/internal/harness"
+	"repro/internal/runstore"
+	"repro/internal/sched"
+)
+
+// simulate is the system under test: a deterministic cost model of a
+// scan over a buffer pool, so every (assignment, replicate) pair always
+// produces the same number and reruns are comparable.
+func simulate(a design.Assignment, rep int, slowdown float64) map[string]float64 {
+	size := map[string]float64{"1GB": 1, "10GB": 10, "100GB": 100}[a["data"]]
+	buffers := map[string]float64{"64MB": 1.8, "256MB": 1.25, "1GB": 1.0}[a["buffers"]]
+	ms := 12.5 * size * buffers * slowdown
+	// Deterministic replicate jitter standing in for experimental error.
+	ms += float64((rep*7)%3) * 0.05 * size
+	return map[string]float64{"ms": ms}
+}
+
+func experiment(run harness.RunFunc) (*harness.Experiment, error) {
+	d, err := design.FullFactorial([]design.Factor{
+		design.MustFactor("data", "1GB", "10GB", "100GB"),
+		design.MustFactor("buffers", "64MB", "256MB", "1GB"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Replicates = 3
+	return &harness.Experiment{
+		Name: "buffer-pool scan", Design: d, Responses: []string{"ms"}, Run: run,
+	}, nil
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "resumable")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	// Pass 1: crash after 10 completed units.
+	var completed atomic.Int64
+	crashing, err := experiment(func(a design.Assignment, rep int) (map[string]float64, error) {
+		if completed.Add(1) > 10 {
+			return nil, errors.New("simulated crash (process killed)")
+		}
+		return simulate(a, rep, 1.0), nil
+	})
+	check(err)
+	s1 := sched.New(sched.Options{Workers: 4, JournalDir: dir})
+	_, err = s1.Execute(crashing)
+	fmt.Printf("pass 1: crashed as scripted (%v)\n", err != nil)
+
+	j, err := runstore.OpenDir(dir, crashing.Name)
+	check(err)
+	fmt.Printf("journal after crash: %d/%d units at %s\n",
+		j.Len(), crashing.Design.TotalExperiments(), filepath.Base(j.Path()))
+	check(j.Close())
+
+	// Pass 2: healthy runner over the same journal — completed units
+	// replay from disk, only the remainder executes.
+	healthy, err := experiment(func(a design.Assignment, rep int) (map[string]float64, error) {
+		return simulate(a, rep, 1.0), nil
+	})
+	check(err)
+	s2 := sched.New(sched.Options{Workers: 4, JournalDir: dir})
+	rs, err := s2.Execute(healthy)
+	check(err)
+	st := s2.LastStats()
+	fmt.Printf("pass 2: %d replayed from journal, %d executed, %d total\n\n",
+		st.Replayed, st.Executed, st.Units)
+	fmt.Println(rs.Report())
+
+	// Save the completed run as the baseline.
+	baselinePath := filepath.Join(dir, "baseline.json")
+	check(runstore.FromResultSet(rs).Save(baselinePath))
+
+	// A "regressed build": the 100GB scans got 40% slower. Run it (no
+	// journal — it is a different build) and gate against the baseline.
+	regressed, err := experiment(func(a design.Assignment, rep int) (map[string]float64, error) {
+		slowdown := 1.0
+		if a["data"] == "100GB" {
+			slowdown = 1.4
+		}
+		return simulate(a, rep, slowdown), nil
+	})
+	check(err)
+	rs2, err := sched.New(sched.Options{Workers: 4}).Execute(regressed)
+	check(err)
+
+	baseline, err := runstore.LoadSummary(baselinePath)
+	check(err)
+	report, err := runstore.Gate(baseline, runstore.FromResultSet(rs2), runstore.GateOptions{})
+	check(err)
+	fmt.Println(report)
+	if n := len(report.Regressions()); n > 0 {
+		fmt.Printf("gate verdict: FAIL — %d cell(s) regressed\n", n)
+	} else {
+		fmt.Println("gate verdict: pass")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resumable:", err)
+		os.Exit(1)
+	}
+}

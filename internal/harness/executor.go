@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/design"
+)
+
+// Executor turns a validated Experiment into a ResultSet. The package-
+// level Execute routes through a pluggable default so callers (the
+// paperexp drivers, examples, the perfeval CLI) can swap the strictly
+// sequential in-process executor for the concurrent, journaled scheduler
+// in internal/sched without touching experiment code. Sequential stays
+// the default: for measurement-sensitive runs, concurrent execution on
+// one machine perturbs the very quantity being measured.
+type Executor interface {
+	Execute(e *Experiment) (*ResultSet, error)
+}
+
+var (
+	defaultMu       sync.RWMutex
+	defaultExecutor Executor = Sequential{}
+)
+
+// SetDefaultExecutor swaps the executor used by the package-level Execute
+// and returns the previous one so callers can restore it. A nil argument
+// resets to the Sequential executor.
+func SetDefaultExecutor(ex Executor) Executor {
+	if ex == nil {
+		ex = Sequential{}
+	}
+	defaultMu.Lock()
+	prev := defaultExecutor
+	defaultExecutor = ex
+	defaultMu.Unlock()
+	return prev
+}
+
+// DefaultExecutor returns the executor the package-level Execute uses.
+func DefaultExecutor() Executor {
+	defaultMu.RLock()
+	defer defaultMu.RUnlock()
+	return defaultExecutor
+}
+
+// Execute runs the full design with replication through the default
+// executor (Sequential unless SetDefaultExecutor installed another).
+func Execute(e *Experiment) (*ResultSet, error) {
+	return DefaultExecutor().Execute(e)
+}
+
+// Sequential executes every design row and replicate strictly in order in
+// the calling goroutine — the executor of choice when the response is a
+// time measurement that concurrent load would distort.
+type Sequential struct{}
+
+// Execute implements Executor.
+func (Sequential) Execute(e *Experiment) (*ResultSet, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Experiment: e}
+	for r := 0; r < e.Design.NumRuns(); r++ {
+		a, err := e.Design.Assignment(r)
+		if err != nil {
+			return nil, err
+		}
+		row := ResultRow{Assignment: a}
+		for rep := 0; rep < e.Design.Replicates; rep++ {
+			resp, err := RunUnit(e, a, r, rep)
+			if err != nil {
+				return nil, err
+			}
+			row.Reps = append(row.Reps, resp)
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, nil
+}
+
+// RunUnit executes one (design row, replicate) unit through the
+// experiment's runner and validates the produced responses. Both the
+// Sequential executor and the concurrent scheduler funnel every live run
+// through here so error text and response validation stay identical.
+func RunUnit(e *Experiment, a design.Assignment, r, rep int) (map[string]float64, error) {
+	resp, err := e.Run(a, rep)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s run %d replicate %d (%s): %w", e.Name, r+1, rep+1, a, err)
+	}
+	if err := CheckResponses(e, resp); err != nil {
+		return nil, fmt.Errorf("harness: %s run %d replicate %d (%s): %w", e.Name, r+1, rep+1, a, err)
+	}
+	return resp, nil
+}
+
+// CheckResponses verifies a runner's output map: it must be non-nil and
+// contain a finite value for every declared response. NaN or infinite
+// values are rejected here, at the source, because a single NaN silently
+// poisons every downstream mean, CI, and effect estimate.
+func CheckResponses(e *Experiment, resp map[string]float64) error {
+	if resp == nil {
+		return fmt.Errorf("runner returned nil responses")
+	}
+	for _, want := range e.Responses {
+		v, ok := resp[want]
+		if !ok {
+			return fmt.Errorf("runner did not produce response %q", want)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("runner produced non-finite %q = %v", want, v)
+		}
+	}
+	return nil
+}

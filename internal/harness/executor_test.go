@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/design"
+)
+
+func TestValidateRejectsZeroReplicates(t *testing.T) {
+	for _, reps := range []int{0, -3} {
+		e := paperExperiment(t, reps)
+		err := e.Validate()
+		if err == nil {
+			t.Fatalf("Replicates = %d: Validate should reject", reps)
+		}
+		if !strings.Contains(err.Error(), "Replicates") {
+			t.Errorf("error should name Replicates: %v", err)
+		}
+		if _, err := Execute(e); err == nil {
+			t.Errorf("Replicates = %d: Execute should reject", reps)
+		}
+	}
+}
+
+func TestExecuteRejectsNonFiniteResponses(t *testing.T) {
+	cases := []struct {
+		name string
+		resp map[string]float64
+	}{
+		{"nil map", nil},
+		{"NaN", map[string]float64{"MIPS": math.NaN()}},
+		{"+Inf", map[string]float64{"MIPS": math.Inf(1)}},
+		{"-Inf", map[string]float64{"MIPS": math.Inf(-1)}},
+	}
+	for _, c := range cases {
+		e := paperExperiment(t, 1)
+		e.Run = func(design.Assignment, int) (map[string]float64, error) {
+			return c.resp, nil
+		}
+		if _, err := Execute(e); err == nil {
+			t.Errorf("%s: Execute should reject", c.name)
+		}
+	}
+}
+
+// countingExecutor wraps Sequential and counts Execute calls, to prove the
+// default-executor indirection routes through the installed executor.
+type countingExecutor struct {
+	calls int
+}
+
+func (c *countingExecutor) Execute(e *Experiment) (*ResultSet, error) {
+	c.calls++
+	return Sequential{}.Execute(e)
+}
+
+func TestSetDefaultExecutor(t *testing.T) {
+	ce := &countingExecutor{}
+	prev := SetDefaultExecutor(ce)
+	defer SetDefaultExecutor(prev)
+	if DefaultExecutor() != Executor(ce) {
+		t.Fatal("DefaultExecutor should return the installed executor")
+	}
+	rs, err := Execute(paperExperiment(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.calls != 1 {
+		t.Errorf("installed executor called %d times, want 1", ce.calls)
+	}
+	if len(rs.Rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(rs.Rows))
+	}
+	// nil resets to Sequential.
+	SetDefaultExecutor(nil)
+	if _, ok := DefaultExecutor().(Sequential); !ok {
+		t.Errorf("SetDefaultExecutor(nil) should reset to Sequential, got %T", DefaultExecutor())
+	}
+}

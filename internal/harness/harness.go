@@ -39,6 +39,8 @@ func (e *Experiment) Validate() error {
 		return fmt.Errorf("harness: experiment %q declares no response variables", e.Name)
 	case e.Run == nil:
 		return fmt.Errorf("harness: experiment %q has no runner", e.Name)
+	case e.Design.Replicates < 1:
+		return fmt.Errorf("harness: experiment %q: Replicates = %d, need >= 1 (use >= 2 to measure experimental error)", e.Name, e.Design.Replicates)
 	}
 	seen := map[string]bool{}
 	for _, r := range e.Responses {
@@ -60,41 +62,6 @@ type ResultRow struct {
 type ResultSet struct {
 	Experiment *Experiment
 	Rows       []ResultRow
-}
-
-// Execute runs the full design with replication. Replicates below 1 are
-// treated as 1 (with a warning in the report: ignoring experimental error
-// is the paper's common mistake #1).
-func Execute(e *Experiment) (*ResultSet, error) {
-	if err := e.Validate(); err != nil {
-		return nil, err
-	}
-	reps := e.Design.Replicates
-	if reps < 1 {
-		reps = 1
-	}
-	rs := &ResultSet{Experiment: e}
-	for r := 0; r < e.Design.NumRuns(); r++ {
-		a, err := e.Design.Assignment(r)
-		if err != nil {
-			return nil, err
-		}
-		row := ResultRow{Assignment: a}
-		for rep := 0; rep < reps; rep++ {
-			resp, err := e.Run(a, rep)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s run %d replicate %d (%s): %w", e.Name, r+1, rep+1, a, err)
-			}
-			for _, want := range e.Responses {
-				if _, ok := resp[want]; !ok {
-					return nil, fmt.Errorf("harness: %s run %d: runner did not produce response %q", e.Name, r+1, want)
-				}
-			}
-			row.Reps = append(row.Reps, resp)
-		}
-		rs.Rows = append(rs.Rows, row)
-	}
-	return rs, nil
 }
 
 // Replicates extracts all replicate values of a response for design row r.

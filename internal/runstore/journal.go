@@ -1,0 +1,293 @@
+// Package runstore persists experiment execution: an append-only JSONL
+// run journal keyed by (experiment, assignment-hash, replicate), a
+// baseline store, and a regression gate that compares a run against a
+// stored baseline via confidence intervals (internal/stats).
+//
+// The journal is the durability substrate of the concurrent scheduler
+// (internal/sched): every completed unit of work is appended before the
+// run proceeds, so a crashed or interrupted run resumes from disk instead
+// of re-executing — the paper's repeatability chapter applied to the
+// experiment harness itself.
+//
+// Journal format: one JSON object per line (JSONL). A record identifies
+// the experiment by name, the design row by a stable hash of its
+// factor-level assignment (so journals survive design-row reordering),
+// and the replicate index. A torn trailing line — the signature of a
+// crash mid-append — is truncated on open; complete records are never
+// rewritten.
+package runstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Record is one journaled execution unit: the responses measured for one
+// replicate of one design row of one experiment.
+type Record struct {
+	Experiment string             `json:"experiment"`
+	Row        int                `json:"row"` // design row index at record time (informational)
+	Replicate  int                `json:"replicate"`
+	Hash       string             `json:"hash"` // AssignmentHash of Assignment
+	Assignment map[string]string  `json:"assignment"`
+	Responses  map[string]float64 `json:"responses"`
+}
+
+// Key returns the journal lookup key for a unit of work.
+func Key(experiment, hash string, replicate int) string {
+	return fmt.Sprintf("%s/%s/%d", experiment, hash, replicate)
+}
+
+// Key returns the record's own lookup key.
+func (r Record) Key() string { return Key(r.Experiment, r.Hash, r.Replicate) }
+
+// AssignmentHash computes a stable hex digest of a factor-level
+// assignment: FNV-1a over the sorted key=value pairs. Two design rows
+// with the same assignment hash identically regardless of row order, so
+// journals stay valid when a design is extended or reordered.
+func AssignmentHash(a map[string]string) string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		h.Write([]byte(a[k]))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Journal is an append-only JSONL run store with an in-memory index.
+// Append and Lookup are safe for concurrent use.
+type Journal struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	recs  map[string]Record
+	order []string // keys in file order, for deterministic Records()
+	torn  bool     // a torn trailing line was truncated on open
+}
+
+// Open opens (creating if absent) the journal at path, loading every
+// complete record. A torn trailing line — a crash mid-append — is
+// truncated; a corrupt line anywhere else is an error, because silently
+// skipping complete records would turn resume into silent re-execution.
+func Open(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
+	}
+	j := &Journal{path: path, recs: make(map[string]Record)}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	keep, err := j.parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	if keep < len(data) {
+		if err := f.Truncate(int64(keep)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runstore: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	// A parseable but unterminated final line (e.g. a journal edited by
+	// hand): terminate it so the next append starts on a fresh line.
+	if keep > 0 && !j.torn && data[keep-1] != '\n' {
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
+	}
+	j.f = f
+	return j, nil
+}
+
+// parse loads every complete record from data into the index and
+// returns the byte offset up to which the file is intact (everything
+// past it is a torn trailing line to truncate).
+func (j *Journal) parse(data []byte) (keep int, err error) {
+	keep = len(data)
+	for offset := 0; offset < len(data); {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		terminated := nl >= 0
+		var line []byte
+		var next int
+		if terminated {
+			line = data[offset : offset+nl]
+			next = offset + nl + 1
+		} else {
+			line = data[offset:]
+			next = len(data)
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var rec Record
+			if err := json.Unmarshal(trimmed, &rec); err != nil {
+				if !terminated { // torn final append from a crash
+					j.torn = true
+					return offset, nil
+				}
+				return 0, fmt.Errorf("corrupt journal line at byte %d: %v", offset, err)
+			}
+			j.index(rec)
+		}
+		offset = next
+	}
+	return keep, nil
+}
+
+// OpenDir opens the journal for one experiment under dir, creating the
+// directory as needed. The file is <dir>/<sanitized-experiment>.jsonl.
+func OpenDir(dir, experiment string) (*Journal, error) {
+	if experiment == "" {
+		return nil, fmt.Errorf("runstore: experiment name required")
+	}
+	return Open(filepath.Join(dir, SanitizeName(experiment)+".jsonl"))
+}
+
+// SanitizeName maps an experiment name to a filesystem-safe file stem.
+func SanitizeName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "journal"
+	}
+	return b.String()
+}
+
+func (j *Journal) index(rec Record) {
+	k := rec.Key()
+	if _, exists := j.recs[k]; !exists {
+		j.order = append(j.order, k)
+	}
+	j.recs[k] = rec // last record wins, like a log-structured store
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Torn reports whether a torn trailing line was truncated when opening.
+func (j *Journal) Torn() bool { return j.torn }
+
+// Len returns the number of distinct journaled units.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Lookup returns the journaled record for a unit, if present.
+func (j *Journal) Lookup(experiment, hash string, replicate int) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.recs[Key(experiment, hash, replicate)]
+	return rec, ok
+}
+
+// Records returns all distinct records in first-appended order.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, 0, len(j.order))
+	for _, k := range j.order {
+		out = append(out, j.recs[k])
+	}
+	return out
+}
+
+// Append validates, persists, and indexes one record. The JSON line is
+// written with a single Write call followed by Sync, so a crash leaves at
+// most one torn line — exactly what Open recovers from.
+func (j *Journal) Append(rec Record) error {
+	if rec.Experiment == "" {
+		return fmt.Errorf("runstore: record needs an experiment name")
+	}
+	if rec.Replicate < 0 {
+		return fmt.Errorf("runstore: record replicate %d < 0", rec.Replicate)
+	}
+	if rec.Hash == "" {
+		rec.Hash = AssignmentHash(rec.Assignment)
+	}
+	for name, v := range rec.Responses {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("runstore: record response %q is non-finite (%v)", name, v)
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("runstore: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	j.index(rec)
+	return nil
+}
+
+// Close closes the journal file. Lookup and Records keep working on the
+// in-memory index; Append fails.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// LoadRecords reads every complete record from an existing journal file
+// without opening it for writing — the file is never created, repaired,
+// or otherwise touched, so diff/report tooling works on read-only
+// artifacts. A torn trailing line is ignored, as Open would truncate it.
+func LoadRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	j := &Journal{path: path, recs: make(map[string]Record)}
+	if _, err := j.parse(data); err != nil {
+		return nil, fmt.Errorf("runstore: %s: %w", path, err)
+	}
+	return j.Records(), nil
+}

@@ -1,0 +1,248 @@
+package runstore
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(exp string, row, rep int, a map[string]string, resp map[string]float64) Record {
+	return Record{
+		Experiment: exp, Row: row, Replicate: rep,
+		Hash: AssignmentHash(a), Assignment: a, Responses: resp,
+	}
+}
+
+func TestAssignmentHashStable(t *testing.T) {
+	a := map[string]string{"cache": "1KB", "memory": "4MB"}
+	b := map[string]string{"memory": "4MB", "cache": "1KB"}
+	if AssignmentHash(a) != AssignmentHash(b) {
+		t.Error("hash should be independent of map iteration order")
+	}
+	c := map[string]string{"cache": "2KB", "memory": "4MB"}
+	if AssignmentHash(a) == AssignmentHash(c) {
+		t.Error("different assignments should hash differently")
+	}
+	// Separator robustness: key/value splits must not collide.
+	x := map[string]string{"ab": "c"}
+	y := map[string]string{"a": "bc"}
+	if AssignmentHash(x) == AssignmentHash(y) {
+		t.Error("ab=c and a=bc should hash differently")
+	}
+}
+
+func TestJournalAppendLookupReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := map[string]string{"f": "lo"}
+	a2 := map[string]string{"f": "hi"}
+	for rep := 0; rep < 3; rep++ {
+		if err := j.Append(rec("e1", 0, rep, a1, map[string]float64{"t": float64(10 + rep)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(rec("e1", 1, 0, a2, map[string]float64{"t": 99})); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 4 {
+		t.Errorf("Len = %d, want 4", j.Len())
+	}
+	got, ok := j.Lookup("e1", AssignmentHash(a1), 2)
+	if !ok || got.Responses["t"] != 12 {
+		t.Errorf("Lookup = %+v, %v", got, ok)
+	}
+	if _, ok := j.Lookup("e1", AssignmentHash(a1), 7); ok {
+		t.Error("Lookup of absent replicate should miss")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 4 || j2.Torn() {
+		t.Errorf("reopen: Len = %d, Torn = %v", j2.Len(), j2.Torn())
+	}
+	recs := j2.Records()
+	if len(recs) != 4 || recs[3].Responses["t"] != 99 {
+		t.Errorf("Records = %+v", recs)
+	}
+}
+
+func TestJournalTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := map[string]string{"f": "lo"}
+	if err := j.Append(rec("e", 0, 0, a, map[string]float64{"t": 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec("e", 0, 1, a, map[string]float64{"t": 2})); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: a torn, unterminated trailing line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"experiment":"e","row":0,"rep`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail should be recovered, got %v", err)
+	}
+	if !j2.Torn() {
+		t.Error("Torn() should report the truncated tail")
+	}
+	if j2.Len() != 2 {
+		t.Errorf("Len after recovery = %d, want 2", j2.Len())
+	}
+	// The journal must stay appendable after recovery.
+	if err := j2.Append(rec("e", 0, 2, a, map[string]float64{"t": 3})); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 3 || j3.Torn() {
+		t.Errorf("after recovery+append: Len = %d, Torn = %v", j3.Len(), j3.Torn())
+	}
+}
+
+func TestJournalCorruptMiddleLineRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"experiment":"e","row":0,"replicate":0,"hash":"h","assignment":{},"responses":{"t":1}}
+not json at all
+{"experiment":"e","row":0,"replicate":1,"hash":"h","assignment":{},"responses":{"t":2}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt middle line should be an error, not silently skipped")
+	}
+}
+
+func TestJournalAppendValidation(t *testing.T) {
+	j, err := Open(filepath.Join(t.TempDir(), "j.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	a := map[string]string{"f": "lo"}
+	if err := j.Append(rec("", 0, 0, a, nil)); err == nil {
+		t.Error("empty experiment should be rejected")
+	}
+	if err := j.Append(rec("e", 0, -1, a, nil)); err == nil {
+		t.Error("negative replicate should be rejected")
+	}
+	if err := j.Append(rec("e", 0, 0, a, map[string]float64{"t": math.NaN()})); err == nil {
+		t.Error("NaN response should be rejected")
+	}
+	if err := j.Append(rec("e", 0, 0, a, map[string]float64{"t": math.Inf(1)})); err == nil {
+		t.Error("Inf response should be rejected")
+	}
+	// Closed journal refuses appends but keeps its index readable.
+	if err := j.Append(rec("e", 0, 0, a, map[string]float64{"t": 1})); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(rec("e", 0, 1, a, map[string]float64{"t": 2})); err == nil {
+		t.Error("append after Close should fail")
+	}
+	if j.Len() != 1 {
+		t.Errorf("index should survive Close, Len = %d", j.Len())
+	}
+}
+
+func TestOpenDirAndSanitize(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenDir(dir, "workstation 2^2 (memory/cache)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	base := filepath.Base(j.Path())
+	if strings.ContainsAny(base, " /^()") {
+		t.Errorf("unsanitized journal file name %q", base)
+	}
+	if !strings.HasSuffix(base, ".jsonl") {
+		t.Errorf("journal file %q should end in .jsonl", base)
+	}
+	if _, err := OpenDir(dir, ""); err == nil {
+		t.Error("empty experiment name should be rejected")
+	}
+}
+
+func TestLoadRecordsMissingFile(t *testing.T) {
+	if _, err := LoadRecords(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Error("LoadRecords on a missing file should error, not create it")
+	}
+}
+
+// TestLoadRecordsReadOnly covers diff-style loading of journals the
+// process may not write: a read-only file with a torn tail must load
+// without being repaired or otherwise modified.
+func TestLoadRecordsReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"experiment":"e","row":0,"replicate":0,"hash":"h","assignment":{},"responses":{"t":1}}` + "\n" +
+		`{"experiment":"e","row":0,"repl` // torn tail, no newline
+	if err := os.WriteFile(path, []byte(content), 0o444); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadRecords(path)
+	if err != nil {
+		t.Fatalf("read-only journal should load: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Responses["t"] != 1 {
+		t.Errorf("records = %+v", recs)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != content {
+		t.Error("LoadRecords modified the journal file")
+	}
+}
+
+func TestJournalLastRecordWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := map[string]string{"f": "lo"}
+	if err := j.Append(rec("e", 0, 0, a, map[string]float64{"t": 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec("e", 0, 0, a, map[string]float64{"t": 2})); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Errorf("duplicate keys should collapse, Len = %d", j.Len())
+	}
+	got, _ := j.Lookup("e", AssignmentHash(a), 0)
+	if got.Responses["t"] != 2 {
+		t.Errorf("last record should win, got %v", got.Responses["t"])
+	}
+	j.Close()
+}

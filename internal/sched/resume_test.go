@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/harness"
+	"repro/internal/runstore"
+)
+
+// TestCrashResume simulates a run killed mid-journal: the first pass
+// fails partway through (leaving a journal with some completed units and
+// a torn trailing line, as a real crash during an append would), then a
+// second pass over the same journal must replay every completed unit
+// without re-executing it and produce a ResultSet byte-identical to a
+// cold sequential run.
+func TestCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	const reps = 3
+
+	// Pass 1: the 16MB/2KB corner always crashes; everything else
+	// completes and is journaled before the failure propagates.
+	crashing := func(a design.Assignment, rep int) (map[string]float64, error) {
+		if a["memory"] == "16MB" && a["cache"] == "2KB" {
+			return nil, errors.New("simulated crash")
+		}
+		return deterministicRunner(a, rep)
+	}
+	s1 := New(Options{Workers: 2, JournalDir: dir})
+	if _, err := s1.Execute(newExperiment(t, reps, crashing)); err == nil {
+		t.Fatal("pass 1 should fail")
+	}
+
+	// Find the journal and note which units it completed.
+	j, err := runstore.OpenDir(dir, "sched 2^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaled := map[string]bool{}
+	for _, rec := range j.Records() {
+		journaled[fmt.Sprintf("%s/%d", rec.Hash, rec.Replicate)] = true
+	}
+	path := j.Path()
+	j.Close()
+	if len(journaled) == 0 {
+		t.Fatal("pass 1 should have journaled at least one completed unit")
+	}
+	if len(journaled) >= 4*reps {
+		t.Fatalf("pass 1 journaled %d units, the crashing corner should be absent", len(journaled))
+	}
+
+	// Tear the journal tail, as a kill -9 mid-append would.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"experiment":"sched 2^2","row":3,"repl`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Pass 2: healthy runner. Completed units must be replayed, not
+	// re-executed.
+	var mu sync.Mutex
+	executed := map[string]bool{}
+	healthy := func(a design.Assignment, rep int) (map[string]float64, error) {
+		mu.Lock()
+		executed[fmt.Sprintf("%s/%d", runstore.AssignmentHash(a), rep)] = true
+		mu.Unlock()
+		return deterministicRunner(a, rep)
+	}
+	s2 := New(Options{Workers: 4, JournalDir: dir})
+	resumed, err := s2.Execute(newExperiment(t, reps, healthy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.LastStats()
+	if st.Replayed != len(journaled) {
+		t.Errorf("Replayed = %d, want %d (every journaled unit)", st.Replayed, len(journaled))
+	}
+	if st.Executed != 4*reps-len(journaled) {
+		t.Errorf("Executed = %d, want %d", st.Executed, 4*reps-len(journaled))
+	}
+	for key := range executed {
+		if journaled[key] {
+			t.Errorf("unit %s was journaled but re-executed", key)
+		}
+	}
+	for key := range journaled {
+		if executed[key] {
+			t.Errorf("unit %s was replayed and also executed", key)
+		}
+	}
+
+	// The resumed ResultSet must be byte-identical to a cold sequential
+	// run of the same experiment.
+	cold, err := harness.Sequential{}.Execute(newExperiment(t, reps, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CSV() != resumed.CSV() {
+		t.Errorf("CSV differs after resume:\ncold:\n%s\nresumed:\n%s", cold.CSV(), resumed.CSV())
+	}
+	if cold.Report() != resumed.Report() {
+		t.Errorf("Report differs after resume:\ncold:\n%s\nresumed:\n%s", cold.Report(), resumed.Report())
+	}
+
+	// Pass 3: nothing left to execute.
+	s3 := New(Options{Workers: 4, JournalDir: dir})
+	if _, err := s3.Execute(newExperiment(t, reps, healthy)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.LastStats(); st.Executed != 0 || st.Replayed != 4*reps {
+		t.Errorf("pass 3 stats = %+v, want pure replay", st)
+	}
+}

@@ -1,0 +1,276 @@
+// Package sched is the concurrent experiment executor: a worker pool
+// that runs design rows x replicates with bounded parallelism, per-unit
+// retry and timeout, deterministic result ordering, and warm-start from
+// a runstore journal — units already journaled are replayed from disk
+// instead of re-executed.
+//
+// The scheduler implements harness.Executor, so it plugs into the
+// package-level harness.Execute via harness.SetDefaultExecutor. It is an
+// opt-in: the sequential executor remains the default because concurrent
+// execution on one machine perturbs time measurements — use the
+// scheduler for simulation-backed or I/O-bound experiments, for
+// re-running large designs after a crash, and for analysis passes where
+// wall-clock throughput matters more than measurement isolation.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/design"
+	"repro/internal/harness"
+	"repro/internal/runstore"
+)
+
+// Options configure a Scheduler.
+type Options struct {
+	// Workers bounds the number of concurrently executing units.
+	// Values < 1 default to GOMAXPROCS.
+	Workers int
+	// Retries is how many extra attempts a failed unit gets before its
+	// error aborts the run.
+	Retries int
+	// Timeout is the per-attempt wall-clock budget; 0 means none. The
+	// harness RunFunc signature carries no context, so a timed-out
+	// attempt's goroutine is abandoned, not interrupted — runners should
+	// be side-effect free on cancellation.
+	Timeout time.Duration
+	// Journal, when set, persists every completed unit and warm-starts
+	// from units already present. The caller keeps ownership (and must
+	// Close it).
+	Journal *runstore.Journal
+	// JournalDir, when Journal is nil, makes the scheduler open (and
+	// close) a per-experiment journal at <JournalDir>/<experiment>.jsonl
+	// for each Execute call.
+	JournalDir string
+}
+
+// Stats counts what one Execute call did.
+type Stats struct {
+	Units    int // total units in the design (rows x replicates)
+	Executed int // units run live
+	Replayed int // units restored from the journal without execution
+	Retried  int // failed attempts that were retried
+}
+
+// Scheduler executes experiments concurrently. It is safe for use from
+// multiple goroutines; LastStats reports the most recent Execute.
+type Scheduler struct {
+	opts Options
+	mu   sync.Mutex
+	last Stats
+}
+
+// New returns a Scheduler with the given options.
+func New(opts Options) *Scheduler { return &Scheduler{opts: opts} }
+
+// LastStats returns the stats of the most recently completed Execute.
+func (s *Scheduler) LastStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// unit is one (design row, replicate) execution.
+type unit struct {
+	row, rep int
+	a        design.Assignment
+	hash     string
+}
+
+// Execute implements harness.Executor: it validates the experiment,
+// replays journaled units, schedules the rest onto the worker pool, and
+// assembles the ResultSet in design order — byte-identical to what the
+// sequential executor produces for the same runner outputs, regardless
+// of completion order.
+func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	journal := s.opts.Journal
+	if journal == nil && s.opts.JournalDir != "" {
+		var err error
+		journal, err = runstore.OpenDir(s.opts.JournalDir, e.Name)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
+		defer journal.Close()
+	}
+
+	rows := e.Design.NumRuns()
+	reps := e.Design.Replicates
+	results := make([][]map[string]float64, rows)
+	assignments := make([]design.Assignment, rows)
+	var pending []unit
+	var stats Stats
+	stats.Units = rows * reps
+	for r := 0; r < rows; r++ {
+		a, err := e.Design.Assignment(r)
+		if err != nil {
+			return nil, err
+		}
+		assignments[r] = a
+		hash := runstore.AssignmentHash(a)
+		results[r] = make([]map[string]float64, reps)
+		for rep := 0; rep < reps; rep++ {
+			if journal != nil {
+				if rec, ok := journal.Lookup(e.Name, hash, rep); ok {
+					// Replay only if the journaled record satisfies the
+					// experiment's current response contract; otherwise
+					// fall through and re-execute (e.g. a new response
+					// was added since the journal was written).
+					if harness.CheckResponses(e, rec.Responses) == nil {
+						results[r][rep] = rec.Responses
+						stats.Replayed++
+						continue
+					}
+				}
+			}
+			pending = append(pending, unit{row: r, rep: rep, a: a, hash: hash})
+		}
+	}
+
+	if err := s.runPool(e, journal, pending, results, &stats); err != nil {
+		return nil, err
+	}
+
+	rs := &harness.ResultSet{Experiment: e}
+	for r := 0; r < rows; r++ {
+		rs.Rows = append(rs.Rows, harness.ResultRow{Assignment: assignments[r], Reps: results[r]})
+	}
+	s.mu.Lock()
+	s.last = stats
+	s.mu.Unlock()
+	return rs, nil
+}
+
+// runPool drives the pending units through the worker pool. Each worker
+// writes into a distinct (row, rep) slot of results, so no lock is
+// needed on the result matrix; stats counters are mutex-guarded.
+func (s *Scheduler) runPool(e *harness.Experiment, journal *runstore.Journal, pending []unit, results [][]map[string]float64, stats *Stats) error {
+	if len(pending) == 0 {
+		return nil
+	}
+	workers := s.opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	jobs := make(chan unit)
+	quit := make(chan struct{})
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(quit)
+		})
+	}
+	var statsMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				resp, retried, err := s.runWithRetry(e, u)
+				statsMu.Lock()
+				stats.Retried += retried
+				statsMu.Unlock()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if journal != nil {
+					err := journal.Append(runstore.Record{
+						Experiment: e.Name,
+						Row:        u.row,
+						Replicate:  u.rep,
+						Hash:       u.hash,
+						Assignment: u.a,
+						Responses:  resp,
+					})
+					if err != nil {
+						fail(err)
+						return
+					}
+				}
+				results[u.row][u.rep] = resp
+				statsMu.Lock()
+				stats.Executed++
+				statsMu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, u := range pending {
+		select {
+		case jobs <- u:
+		case <-quit:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// runWithRetry executes one unit with the configured retry budget,
+// returning the responses and how many failed attempts were retried.
+func (s *Scheduler) runWithRetry(e *harness.Experiment, u unit) (map[string]float64, int, error) {
+	attempts := 1 + s.opts.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	retried := 0
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			retried++
+		}
+		resp, err := s.attempt(e, u)
+		if err == nil {
+			return resp, retried, nil
+		}
+		lastErr = err
+	}
+	if s.opts.Retries > 0 {
+		lastErr = fmt.Errorf("sched: after %d attempts: %w", attempts, lastErr)
+	}
+	return nil, retried, lastErr
+}
+
+// attempt runs one unit, enforcing the per-attempt timeout if set.
+func (s *Scheduler) attempt(e *harness.Experiment, u unit) (map[string]float64, error) {
+	if s.opts.Timeout <= 0 {
+		return harness.RunUnit(e, u.a, u.row, u.rep)
+	}
+	type outcome struct {
+		resp map[string]float64
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		resp, err := harness.RunUnit(e, u.a, u.row, u.rep)
+		ch <- outcome{resp, err}
+	}()
+	timer := time.NewTimer(s.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.resp, out.err
+	case <-timer.C:
+		return nil, fmt.Errorf("sched: %s run %d replicate %d timed out after %v",
+			e.Name, u.row+1, u.rep+1, s.opts.Timeout)
+	}
+}

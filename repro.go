@@ -3,7 +3,9 @@
 // as a Go library: the experiment-methodology pipeline the paper teaches
 // (internal/core, internal/design, internal/measure, internal/stats,
 // internal/harness, internal/plot, internal/config, internal/sysinfo,
-// internal/repeat) plus the substrates its worked examples run on
+// internal/repeat), the run-execution subsystem (internal/sched's
+// concurrent scheduler over internal/runstore's persistent run journal
+// and regression gate), plus the substrates its worked examples run on
 // (internal/vdb, internal/tpch, internal/hwsim, internal/netsim).
 //
 // This root package exposes the per-table/per-figure experiment drivers so
