@@ -2,14 +2,18 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"testing"
 
+	"repro/internal/adaptive"
 	"repro/internal/design"
+	"repro/internal/harness"
 	"repro/internal/hwsim"
 	"repro/internal/microbench"
 	"repro/internal/netsim"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tpch"
 	"repro/internal/vdb"
@@ -225,6 +229,65 @@ func BenchmarkAblationTopN(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkAdaptiveVsFixed quantifies what CI-targeted sequential
+// analysis saves over a fixed replication budget on a simulated
+// mixed-variance workload: half the cells are nearly noise-free (the
+// fixed budget over-measures them), half are noisy (both schedulers
+// must spend real replicates). The replicates/op metrics are the story;
+// time/op tracks the harness overhead of the dynamic scheduler.
+func BenchmarkAdaptiveVsFixed(b *testing.B) {
+	const fixedReps = 40
+	runner := func(a design.Assignment, rep int) (map[string]float64, error) {
+		amp := 0.001 // low-variance cell: ±0.1%
+		if a["noise"] == "hi" {
+			amp = 0.2 // high-variance cell: ±20%
+		}
+		scale := map[string]float64{"1GB": 1, "10GB": 10}[a["data"]]
+		jitter := math.Sin(float64(rep)*2.399963) * amp
+		return map[string]float64{"ms": 100 * scale * (1 + jitter)}, nil
+	}
+	experiment := func() *harness.Experiment {
+		d, err := design.FullFactorial([]design.Factor{
+			design.MustFactor("noise", "lo", "hi"),
+			design.MustFactor("data", "1GB", "10GB"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Replicates = fixedReps
+		return &harness.Experiment{
+			Name: "mixed-variance", Design: d, Responses: []string{"ms"}, Run: runner,
+		}
+	}
+	b.Run("fixed", func(b *testing.B) {
+		var units int
+		for i := 0; i < b.N; i++ {
+			s := sched.New(sched.Options{Workers: 4})
+			if _, err := s.Execute(experiment()); err != nil {
+				b.Fatal(err)
+			}
+			units = s.LastStats().Units
+		}
+		b.ReportMetric(float64(units), "replicates/op")
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		var st sched.Stats
+		for i := 0; i < b.N; i++ {
+			ctrl, err := adaptive.New(adaptive.Options{Rel: 0.05, Min: 3, Max: fixedReps})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := sched.New(sched.Options{Workers: 4, Controller: ctrl})
+			if _, err := s.Execute(experiment()); err != nil {
+				b.Fatal(err)
+			}
+			st = s.LastStats()
+		}
+		b.ReportMetric(float64(st.Units), "replicates/op")
+		b.ReportMetric(float64(st.FixedBudget-st.Units), "replicates-saved/op")
 	})
 }
 

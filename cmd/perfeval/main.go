@@ -5,6 +5,7 @@
 //	perfeval list
 //	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR]
 //	perfeval diff <baseline.jsonl> <current.jsonl> [-Ddiff.confidence=0.95] [-Ddiff.tolerance=0.05]
+//	perfeval compact <journal.jsonl> [-Dcompact.out=PATH]
 //	perfeval suite
 //
 // run prints the artifact to stdout; with -Dout.dir=DIR it also writes
@@ -16,10 +17,27 @@
 // -Dsched.retries=N and -Dsched.timeout=DUR tune per-unit retry and
 // timeout.
 //
+// Adaptive replication (internal/adaptive) replaces the fixed
+// rows x replicates budget with CI-targeted sequential analysis:
+// -Dadaptive.rel=0.05 stops replicating a cell once its confidence
+// interval's relative half-width is <= 5%, after at least
+// -Dadaptive.min=3 and at most -Dadaptive.max=50 replicates.
+// -Dadaptive.prioritize=<baseline.jsonl> compares running cells against
+// a baseline journal: cells the gate would flag as regressed get a
+// tighter (rel/2) target and are scheduled first. Any adaptive.* flag
+// switches the run onto the scheduler; after each experiment a budget
+// report prints the replicates spent per cell against the fixed-budget
+// equivalent.
+//
 // diff loads two run journals, aggregates them per (assignment,
 // response), and applies the regression gate (internal/runstore):
 // confidence intervals that have shifted versus the baseline are flagged
 // and the command exits non-zero — a CI guard for performance work.
+//
+// compact rewrites a journal keeping only the last record of every
+// (experiment, assignment, replicate) key — the retention tool for
+// journals that accumulated superseded records. In place by default;
+// -Dcompact.out=PATH writes aside instead.
 //
 // suite prints the repeatability instructions for the whole experiment
 // set.
@@ -33,6 +51,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/adaptive"
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/paperexp"
@@ -56,7 +75,7 @@ func runW(w io.Writer, args []string) error {
 		return err
 	}
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: perfeval list | run <id>|all | diff <baseline> <current> | suite")
+		return fmt.Errorf("usage: perfeval list | run <id>|all | diff <baseline> <current> | compact <journal> | suite")
 	}
 	switch rest[0] {
 	case "list":
@@ -69,32 +88,31 @@ func runW(w io.Writer, args []string) error {
 		if len(rest) < 2 {
 			return fmt.Errorf("usage: perfeval run <id>|all")
 		}
-		restore, err := installExecutor(w, props)
+		restore, scheduler, err := installExecutor(w, props)
 		if err != nil {
 			return err
 		}
 		defer restore()
 		outDir := props.GetOr("out.dir", "")
-		var results []*paperexp.Result
+		ids := rest[1:]
 		if rest[1] == "all" {
-			results, err = paperexp.RunAll()
-			if err != nil {
-				return err
-			}
-		} else {
-			for _, id := range rest[1:] {
-				r, err := paperexp.Run(id)
-				if err != nil {
-					return err
-				}
-				results = append(results, r)
+			// Run ids one by one (rather than paperexp.RunAll) so the
+			// adaptive budget report can print per experiment.
+			ids = nil
+			for _, e := range paperexp.Registry() {
+				ids = append(ids, e.ID)
 			}
 		}
-		for _, r := range results {
+		for _, id := range ids {
+			r, err := paperexp.Run(id)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
 			fmt.Fprintf(w, "=== %s (slides %s): %s ===\n\n%s\n", r.ID, r.Slides, r.Title, r.Text)
 			if r.Notes != "" {
 				fmt.Fprintf(w, "notes: %s\n\n", r.Notes)
 			}
+			budgetReport(w, scheduler)
 			if outDir != "" {
 				dir := filepath.Join(outDir, "res")
 				if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -115,32 +133,59 @@ func runW(w io.Writer, args []string) error {
 		}
 		return diff(w, props, rest[1], rest[2])
 
+	case "compact":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: perfeval compact <journal.jsonl>")
+		}
+		out := props.GetOr("compact.out", "")
+		cs, err := runstore.Compact(rest[1], out)
+		if err != nil {
+			return err
+		}
+		if out == "" {
+			out = rest[1]
+		}
+		fmt.Fprintf(w, "compacted %s: kept %d record(s), dropped %d superseded", out, cs.Kept, cs.Dropped)
+		if cs.Torn {
+			fmt.Fprint(w, ", torn tail removed")
+		}
+		fmt.Fprintln(w)
+		return nil
+
 	case "suite":
 		fmt.Fprint(w, paperexp.PaperSuite().Instructions())
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, diff, or suite)", rest[0])
+		return fmt.Errorf("unknown command %q (want list, run, diff, compact, or suite)", rest[0])
 	}
 }
 
-// installExecutor swaps in the concurrent scheduler when sched.* or
-// journal.* properties ask for it, returning a restore function. With
-// none of those properties set it is a no-op: the sequential executor
-// stays, keeping measurements unperturbed by concurrency.
-func installExecutor(w io.Writer, props *config.Properties) (restore func(), err error) {
+// installExecutor swaps in the concurrent scheduler when sched.*,
+// journal.*, or adaptive.* properties ask for it, returning a restore
+// function and the installed scheduler (nil when sequential). With none
+// of those properties set it is a no-op: the sequential executor stays,
+// keeping measurements unperturbed by concurrency.
+func installExecutor(w io.Writer, props *config.Properties) (restore func(), s *sched.Scheduler, err error) {
 	workersSet := props.GetOr("sched.workers", "") != ""
 	journalDir := props.GetOr("journal.dir", "")
-	if !workersSet && journalDir == "" {
-		return func() {}, nil
+	ctrl, ctrlBanner, err := buildController(props)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !workersSet && journalDir == "" && ctrl == nil {
+		return func() {}, nil, nil
 	}
 	opts := sched.Options{JournalDir: journalDir}
+	if ctrl != nil { // assigning a nil *Controller would make the interface non-nil
+		opts.Controller = ctrl
+	}
 	if workersSet {
 		if opts.Workers, err = props.GetInt("sched.workers"); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if opts.Workers < 1 {
-			return nil, fmt.Errorf("sched.workers = %d, need >= 1", opts.Workers)
+			return nil, nil, fmt.Errorf("sched.workers = %d, need >= 1", opts.Workers)
 		}
 	} else {
 		// Resolve the scheduler's GOMAXPROCS default here so the banner
@@ -149,22 +194,106 @@ func installExecutor(w io.Writer, props *config.Properties) (restore func(), err
 	}
 	if props.GetOr("sched.retries", "") != "" {
 		if opts.Retries, err = props.GetInt("sched.retries"); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if props.GetOr("sched.timeout", "") != "" {
 		if opts.Timeout, err = props.GetDuration("sched.timeout"); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	s := sched.New(opts)
+	s = sched.New(opts)
 	fmt.Fprintf(w, "scheduler: %d workers", opts.Workers)
 	if journalDir != "" {
 		fmt.Fprintf(w, ", journal %s", journalDir)
 	}
+	if ctrlBanner != "" {
+		fmt.Fprintf(w, ", %s", ctrlBanner)
+	}
 	fmt.Fprintln(w)
 	prev := harness.SetDefaultExecutor(s)
-	return func() { harness.SetDefaultExecutor(prev) }, nil
+	return func() { harness.SetDefaultExecutor(prev) }, s, nil
+}
+
+// buildController assembles the adaptive replication controller when any
+// adaptive.* property is set. adaptive.prioritize names a baseline
+// journal; its per-experiment summaries arm mid-run drift flagging and
+// gate-first scheduling.
+func buildController(props *config.Properties) (*adaptive.Controller, string, error) {
+	relSet := props.GetOr("adaptive.rel", "") != ""
+	minSet := props.GetOr("adaptive.min", "") != ""
+	maxSet := props.GetOr("adaptive.max", "") != ""
+	prioritize := props.GetOr("adaptive.prioritize", "")
+	if !relSet && !minSet && !maxSet && prioritize == "" {
+		return nil, "", nil
+	}
+	var opts adaptive.Options
+	var err error
+	if relSet {
+		if opts.Rel, err = props.GetFloat("adaptive.rel"); err != nil {
+			return nil, "", err
+		}
+	}
+	if minSet {
+		if opts.Min, err = props.GetInt("adaptive.min"); err != nil {
+			return nil, "", err
+		}
+	}
+	if maxSet {
+		if opts.Max, err = props.GetInt("adaptive.max"); err != nil {
+			return nil, "", err
+		}
+	}
+	ctrl, err := adaptive.New(opts)
+	if err != nil {
+		return nil, "", err
+	}
+	if prioritize != "" {
+		recs, err := runstore.LoadRecords(prioritize)
+		if err != nil {
+			return nil, "", fmt.Errorf("adaptive.prioritize: %w", err)
+		}
+		for _, s := range runstore.Summarize(recs) {
+			if err := ctrl.AddBaseline(s); err != nil {
+				return nil, "", fmt.Errorf("adaptive.prioritize: %w", err)
+			}
+		}
+	}
+	banner := fmt.Sprintf("adaptive rel=%s min=%s max=%s",
+		props.GetOr("adaptive.rel", fmt.Sprintf("%g", adaptive.DefaultRel)),
+		props.GetOr("adaptive.min", fmt.Sprintf("%d", adaptive.DefaultMin)),
+		props.GetOr("adaptive.max", fmt.Sprintf("%d", adaptive.DefaultMax)))
+	if prioritize != "" {
+		banner += " prioritize=" + prioritize
+	}
+	return ctrl, banner, nil
+}
+
+// budgetReport prints what the last adaptive run spent per cell against
+// the fixed rows x replicates budget it replaced, consuming the stats so
+// an experiment that runs nothing through the harness cannot reprint its
+// predecessor's report. A nil or fixed-budget scheduler prints nothing.
+func budgetReport(w io.Writer, s *sched.Scheduler) {
+	if s == nil {
+		return
+	}
+	cells := s.TakeCellStats()
+	if len(cells) == 0 {
+		return
+	}
+	st := s.LastStats()
+	fixedPerCell := st.FixedBudget / len(cells)
+	tab := harness.NewTable().Header("run", "assignment", "reps", "fixed", "note")
+	for _, c := range cells {
+		tab.Row(fmt.Sprintf("%d", c.Row+1), c.Assignment.String(),
+			fmt.Sprintf("%d", c.Spent()), fmt.Sprintf("%d", fixedPerCell), c.Note)
+	}
+	fmt.Fprintf(w, "adaptive budget report: %d replicates spent (%d live, %d replayed) vs fixed budget %d",
+		st.Units, st.Executed, st.Replayed, st.FixedBudget)
+	if st.FixedBudget > 0 {
+		fmt.Fprintf(w, " (%.1f%% saved)", (1-float64(st.Units)/float64(st.FixedBudget))*100)
+	}
+	fmt.Fprintf(w, "\n%s\n", tab.String())
 }
 
 // diff gates a current run journal against a baseline journal and

@@ -43,10 +43,114 @@ func TestPerfevalCommands(t *testing.T) {
 		{"-Dsched.workers=zero", "run", "t4"},
 		{"-Dsched.workers=0", "run", "t4"},
 		{"-Dsched.timeout=nonsense", "-Djournal.dir=x", "run", "t4"},
+		{"compact"},
+		{"compact", "a.jsonl", "b.jsonl"},
+		{"compact", "absent.jsonl"},
+		{"-Dadaptive.rel=bogus", "run", "t4"},
+		{"-Dadaptive.rel=-0.1", "run", "t4"},
+		{"-Dadaptive.min=7", "-Dadaptive.max=2", "run", "t4"},
+		{"-Dadaptive.prioritize=absent.jsonl", "run", "t4"},
 	} {
 		if err := run(bad); err == nil {
 			t.Errorf("run(%v) should error", bad)
 		}
+	}
+}
+
+// TestAdaptiveRunPrintsBudgetReport runs t4 under the adaptive
+// controller: the artifact must carry the scheduler banner and a
+// per-cell budget report comparing spend against the fixed budget.
+func TestAdaptiveRunPrintsBudgetReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := runW(&out, []string{"-Dadaptive.min=2", "-Dadaptive.max=5", "-Dsched.workers=2", "run", "t4"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"adaptive rel=0.05 min=2 max=5",
+		"adaptive budget report:",
+		"vs fixed budget",
+		"assignment",
+		"cache=1KB memory=4MB",
+		"after 2 reps", // t4 is noise-free: every cell stops at the minimum
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("adaptive run output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestAdaptivePrioritizeFlagsBaselineDrift seeds a baseline journal in
+// which one t4 cell was much faster: the adaptive run must flag that
+// cell as gate-regressed in the budget report.
+func TestAdaptivePrioritizeFlagsBaselineDrift(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.jsonl")
+	j, err := runstore.Open(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := map[string]string{"memory": "4MB", "cache": "1KB"} // measures 15 MIPS today
+	for rep := 0; rep < 3; rep++ {
+		err := j.Append(runstore.Record{
+			Experiment: "workstation performance 2^2", Replicate: rep,
+			Assignment: slow,
+			Responses:  map[string]float64{"MIPS": 10 + 0.1*float64(rep)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	var out bytes.Buffer
+	args := []string{"-Dadaptive.min=2", "-Dadaptive.max=5", "-Dadaptive.prioritize=" + basePath, "run", "t4"}
+	if err := runW(&out, args); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gate-flagged") {
+		t.Errorf("budget report should mark the drifted cell gate-flagged:\n%s", out.String())
+	}
+}
+
+// TestCompactCommand seeds a journal with superseded records and
+// verifies the compact subcommand rewrites it last-wins.
+func TestCompactCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	j, err := runstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := map[string]string{"f": "x"}
+	for _, v := range []float64{1, 2, 3} { // same key three times
+		if err := j.Append(runstore.Record{Experiment: "e", Replicate: 0, Assignment: a, Responses: map[string]float64{"ms": v}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	var out bytes.Buffer
+	if err := runW(&out, []string{"compact", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kept 1 record(s), dropped 2") {
+		t.Errorf("compact output = %q", out.String())
+	}
+	recs, err := runstore.LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Responses["ms"] != 3 {
+		t.Errorf("compacted records = %+v, want the last-appended value", recs)
+	}
+
+	// Compact-aside via -Dcompact.out leaves the source alone.
+	aside := filepath.Join(dir, "aside.jsonl")
+	if err := runW(&out, []string{"-Dcompact.out=" + aside, "compact", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(aside); err != nil {
+		t.Errorf("compact.out not written: %v", err)
 	}
 }
 

@@ -51,6 +51,30 @@ func Execute(e *Experiment) (*ResultSet, error) {
 	return DefaultExecutor().Execute(e)
 }
 
+// CellStats itemizes the replicates an executor spent on one design cell
+// (one factor-level assignment). Executed counts live runs, Replayed
+// counts journal restores; both charge against the cell's replication
+// budget. Note carries the executor's own account of why the cell
+// stopped (e.g. the adaptive controller's precision-reached message).
+type CellStats struct {
+	Row        int
+	Assignment design.Assignment
+	Executed   int
+	Replayed   int
+	Note       string
+}
+
+// Spent returns the total replicates charged to the cell.
+func (c CellStats) Spent() int { return c.Executed + c.Replayed }
+
+// BudgetReporter is implemented by executors that can itemize per-cell
+// replicate spend — the adaptive scheduler in internal/sched. A nil
+// slice means the last execution had no per-cell budget to report (e.g.
+// it ran with a fixed budget).
+type BudgetReporter interface {
+	CellStats() []CellStats
+}
+
 // Sequential executes every design row and replicate strictly in order in
 // the calling goroutine — the executor of choice when the response is a
 // time measurement that concurrent load would distort.

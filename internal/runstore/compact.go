@@ -1,0 +1,98 @@
+package runstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CompactStats reports what one compaction did.
+type CompactStats struct {
+	Kept    int // distinct records written out
+	Dropped int // superseded (re-appended same-key) records removed
+	Torn    bool
+}
+
+// Compact rewrites the journal at src keeping only the last-appended
+// record of every (experiment, hash, replicate) key, in first-appended
+// key order — exactly the view Open serves from its in-memory index, so
+// warm-start, diff, and summarize behavior is unchanged while the file
+// sheds every superseded record. Like Open, it loads the journal into
+// memory to build that view, so it compacts journals that still fit in
+// RAM — run it before they outgrow it. A torn trailing line is dropped
+// like Open would.
+//
+// The rewrite is atomic: records go to a temporary file in the target
+// directory which is fsynced and renamed into place. dst == "" compacts
+// in place; otherwise src is left untouched and the compacted journal is
+// written to dst. Compaction is idempotent — compacting a compacted
+// journal is a byte-identical no-op.
+func Compact(src, dst string) (CompactStats, error) {
+	var cs CompactStats
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return cs, fmt.Errorf("runstore: %w", err)
+	}
+	j := &Journal{path: src, recs: make(map[string]Record)}
+	if _, err := j.parse(data); err != nil {
+		return cs, fmt.Errorf("runstore: %s: %w", src, err)
+	}
+	recs := j.Records()
+	cs.Kept = len(recs)
+	cs.Dropped = j.appended - len(recs)
+	cs.Torn = j.torn
+
+	if dst == "" {
+		dst = src
+	}
+	if dir := filepath.Dir(dst); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return cs, fmt.Errorf("runstore: %w", err)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".compact-*")
+	if err != nil {
+		return cs, fmt.Errorf("runstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	// CreateTemp makes a 0600 file; match the journal's own mode so an
+	// in-place compaction does not silently tighten permissions.
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(src); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		return cs, fmt.Errorf("runstore: %w", err)
+	}
+	// Write the surviving records directly with one Sync at the end —
+	// the temp file needs durability exactly once, before the rename,
+	// not per record like live appends do.
+	bw := bufio.NewWriter(tmp)
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return cs, fmt.Errorf("runstore: %w", err)
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return cs, fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return cs, fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cs, fmt.Errorf("runstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return cs, fmt.Errorf("runstore: %w", err)
+	}
+	return cs, nil
+}

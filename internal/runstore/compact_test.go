@@ -1,0 +1,197 @@
+package runstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCompactRoundTrip journals a run, supersedes some records by
+// re-appending their keys, compacts, and verifies the compacted journal
+// serves the identical last-wins view with the superseded lines gone.
+func TestCompactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := map[string]string{"f": "lo"}
+	b := map[string]string{"f": "hi"}
+	for rep := 0; rep < 3; rep++ {
+		if err := j.Append(rec("e", 0, rep, a, map[string]float64{"ms": 10 + float64(rep)})); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(rec("e", 1, rep, b, map[string]float64{"ms": 20 + float64(rep)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Supersede two records: re-measured values must win after compaction.
+	if err := j.Append(rec("e", 0, 1, a, map[string]float64{"ms": 99})); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec("e", 1, 0, b, map[string]float64{"ms": 88})); err != nil {
+		t.Fatal(err)
+	}
+	want := j.Records() // last-wins view before compaction
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := Compact(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Kept != 6 || cs.Dropped != 2 {
+		t.Errorf("stats = %+v, want kept 6 dropped 2", cs)
+	}
+
+	got, err := LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("compacted journal has %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key() != want[i].Key() || got[i].Responses["ms"] != want[i].Responses["ms"] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The superseded values must be gone from the file, the winners kept.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= len(raw) {
+		t.Errorf("compaction did not shrink the journal: %d -> %d bytes", len(raw), len(data))
+	}
+	for _, gone := range []string{`"ms":11`, `"ms":20`} {
+		if bytes.Contains(data, []byte(gone)) {
+			t.Errorf("superseded record %s survived compaction", gone)
+		}
+	}
+
+	// Idempotence: compacting a compacted journal is a byte-identical no-op.
+	if cs, err = Compact(path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Kept != 6 || cs.Dropped != 0 {
+		t.Errorf("re-compaction stats = %+v, want kept 6 dropped 0", cs)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("re-compaction changed the file")
+	}
+
+	// A warm start from the compacted journal sees every unit.
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 6 {
+		t.Errorf("Len = %d after compaction, want 6", j2.Len())
+	}
+	if got, ok := j2.Lookup("e", AssignmentHash(a), 1); !ok || got.Responses["ms"] != 99 {
+		t.Errorf("superseding record lost: %+v ok=%v", got, ok)
+	}
+}
+
+// TestCompactAside writes the compacted journal to a separate path,
+// leaving the source untouched, and drops a torn tail like Open would.
+func TestCompactAside(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.jsonl")
+	j, err := Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := map[string]string{"f": "x"}
+	if err := j.Append(rec("e", 0, 0, a, map[string]float64{"ms": 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec("e", 0, 0, a, map[string]float64{"ms": 2})); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(src, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"experiment":"e","ro`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := filepath.Join(dir, "nested", "dst.jsonl")
+	cs, err := Compact(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Kept != 1 || cs.Dropped != 1 || !cs.Torn {
+		t.Errorf("stats = %+v, want kept 1 dropped 1 torn", cs)
+	}
+	after, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("compact-aside modified the source journal")
+	}
+	got, err := LoadRecords(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Responses["ms"] != 2 {
+		t.Errorf("dst records = %+v, want the single last-wins record", got)
+	}
+
+	// A missing source is an error, not an empty compaction.
+	if _, err := Compact(filepath.Join(dir, "absent.jsonl"), ""); err == nil {
+		t.Error("absent source should error")
+	}
+}
+
+// TestReplicateCount covers the warm-start budget: only the contiguous
+// replicate prefix counts, holes stop the count.
+func TestReplicateCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	a := map[string]string{"f": "x"}
+	hash := AssignmentHash(a)
+	if n := j.ReplicateCount("e", hash); n != 0 {
+		t.Errorf("empty journal count = %d", n)
+	}
+	for _, rep := range []int{0, 1, 3} { // hole at 2
+		if err := j.Append(rec("e", 0, rep, a, map[string]float64{"ms": 1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := j.ReplicateCount("e", hash); n != 2 {
+		t.Errorf("count with hole at 2 = %d, want 2", n)
+	}
+	if err := j.Append(rec("e", 0, 2, a, map[string]float64{"ms": 1})); err != nil {
+		t.Fatal(err)
+	}
+	if n := j.ReplicateCount("e", hash); n != 4 {
+		t.Errorf("count after filling hole = %d, want 4", n)
+	}
+	if n := j.ReplicateCount("other", hash); n != 0 {
+		t.Errorf("other experiment count = %d", n)
+	}
+}

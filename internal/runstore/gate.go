@@ -245,6 +245,31 @@ func interval(values []float64, opt GateOptions) (stats.Interval, error) {
 	return stats.Interval{Mean: m, Lo: m - half, Hi: m + half, Confidence: opt.Confidence, N: len(values)}, nil
 }
 
+// Intervals returns the comparison interval of every summary cell, keyed
+// hash -> response, built with the same rules Gate applies (Student-t CI
+// for replicated cells, a tolerance band for single-replicate ones).
+// The adaptive replication controller uses this to compare a running
+// cell against a stored baseline without a full gate pass.
+func (s *Summary) Intervals(opt GateOptions) (map[string]map[string]stats.Interval, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]stats.Interval)
+	for _, row := range s.Rows {
+		iv, err := interval(row.Values, opt)
+		if err != nil {
+			return nil, fmt.Errorf("runstore: cell %s/%s: %w", assignmentString(row.Assignment), row.Response, err)
+		}
+		byResp := out[row.Hash]
+		if byResp == nil {
+			byResp = make(map[string]stats.Interval)
+			out[row.Hash] = byResp
+		}
+		byResp[row.Response] = iv
+	}
+	return out, nil
+}
+
 // GateReport is the outcome of gating a run against a baseline.
 type GateReport struct {
 	Experiment string

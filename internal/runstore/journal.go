@@ -50,6 +50,14 @@ func Key(experiment, hash string, replicate int) string {
 // Key returns the record's own lookup key.
 func (r Record) Key() string { return Key(r.Experiment, r.Hash, r.Replicate) }
 
+// CellKey identifies one design cell — all replicates of one assignment
+// of one experiment. It is the identity the scheduler and the adaptive
+// replication controller exchange, so one controller can serve several
+// experiments without state bleeding across them.
+func CellKey(experiment, hash string) string {
+	return fmt.Sprintf("%s/%s", experiment, hash)
+}
+
 // AssignmentHash computes a stable hex digest of a factor-level
 // assignment: FNV-1a over the sorted key=value pairs. Two design rows
 // with the same assignment hash identically regardless of row order, so
@@ -73,12 +81,13 @@ func AssignmentHash(a map[string]string) string {
 // Journal is an append-only JSONL run store with an in-memory index.
 // Append and Lookup are safe for concurrent use.
 type Journal struct {
-	mu    sync.Mutex
-	path  string
-	f     *os.File
-	recs  map[string]Record
-	order []string // keys in file order, for deterministic Records()
-	torn  bool     // a torn trailing line was truncated on open
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	recs     map[string]Record
+	order    []string // keys in file order, for deterministic Records()
+	appended int      // records ever indexed, including superseded ones
+	torn     bool     // a torn trailing line was truncated on open
 }
 
 // Open opens (creating if absent) the journal at path, loading every
@@ -191,6 +200,7 @@ func (j *Journal) index(rec Record) {
 		j.order = append(j.order, k)
 	}
 	j.recs[k] = rec // last record wins, like a log-structured store
+	j.appended++
 }
 
 // Path returns the journal's file path.
@@ -212,6 +222,23 @@ func (j *Journal) Lookup(experiment, hash string, replicate int) (Record, bool) 
 	defer j.mu.Unlock()
 	rec, ok := j.recs[Key(experiment, hash, replicate)]
 	return rec, ok
+}
+
+// ReplicateCount returns how many contiguous replicates (0..n-1) of one
+// cell the journal holds — the warm-start budget already spent on it.
+// A gap stops the count: an adaptive resume must extend a contiguous
+// replicate prefix, never fill holes, or the replicate set (and with it
+// every downstream CI) would depend on which run wrote which record.
+func (j *Journal) ReplicateCount(experiment, hash string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for {
+		if _, ok := j.recs[Key(experiment, hash, n)]; !ok {
+			return n
+		}
+		n++
+	}
 }
 
 // Records returns all distinct records in first-appended order.

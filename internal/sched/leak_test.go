@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/design"
+	"repro/internal/runstore"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base, tolerating the runtime's own background goroutines.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= base || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("%d goroutines still alive, started with %d — the pool leaked", n, base)
+	}
+}
+
+// TestTimeoutAbandonmentDoesNotLeakOrCorrupt is the regression test for
+// the Options.Timeout abandonment contract: a timed-out attempt's
+// goroutine must not deadlock the pool, must drain once the runner
+// unblocks, and its late result must never surface in Stats, the
+// journal, or the ResultSet.
+func TestTimeoutAbandonmentDoesNotLeakOrCorrupt(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	release := make(chan struct{})
+	var lateFinishes atomic.Int64
+	// The 16MB cells block until released — long past the timeout.
+	blocking := func(a design.Assignment, rep int) (map[string]float64, error) {
+		if a["memory"] == "16MB" {
+			<-release
+			lateFinishes.Add(1)
+		}
+		return deterministicRunner(a, rep)
+	}
+
+	s := New(Options{Workers: 4, Timeout: 25 * time.Millisecond, JournalDir: dir})
+	_, err := s.Execute(newExperiment(t, 2, blocking))
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	// A failed Execute publishes no stats — the zero value is the
+	// contract, not leftovers from whatever the abandoned attempts did.
+	if st := s.LastStats(); st != (Stats{}) {
+		t.Errorf("failed run published stats %+v, want none", st)
+	}
+
+	// Unblock the abandoned attempts; every goroutine must drain.
+	close(release)
+	waitGoroutines(t, base)
+	if lateFinishes.Load() == 0 {
+		t.Fatal("test runner never blocked — the scenario did not exercise abandonment")
+	}
+
+	// Late finishers must not have reached the journal: only fast cells
+	// may be there.
+	j, err := runstore.OpenDir(dir, "sched 2^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaled := j.Len()
+	for _, rec := range j.Records() {
+		if rec.Assignment["memory"] == "16MB" {
+			t.Errorf("abandoned unit %s/%d reached the journal", rec.Hash, rec.Replicate)
+		}
+	}
+	j.Close()
+
+	// A healthy warm-started re-run over the same journal must replay
+	// exactly the journaled fast units, execute the rest, and publish
+	// consistent stats — the abandoned attempts corrupted nothing.
+	s2 := New(Options{Workers: 4, Timeout: time.Second, JournalDir: dir})
+	rs, err := s2.Execute(newExperiment(t, 2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.LastStats()
+	if st.Replayed != journaled || st.Executed != st.Units-journaled {
+		t.Errorf("resume stats = %+v, want %d replayed of %d", st, journaled, st.Units)
+	}
+	cold, err := New(Options{Workers: 1}).Execute(newExperiment(t, 2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.CSV() != cold.CSV() {
+		t.Errorf("resumed ResultSet differs from cold run:\n%s\nvs\n%s", rs.CSV(), cold.CSV())
+	}
+}
+
+// TestAdaptiveTimeoutDoesNotLeak exercises the same contract on the
+// dynamic (controller-driven) pool, whose dispatcher must keep draining
+// in-flight outcomes after the first error.
+func TestAdaptiveTimeoutDoesNotLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	release := make(chan struct{})
+	blocking := func(a design.Assignment, rep int) (map[string]float64, error) {
+		if a["noise"] == "hi" {
+			<-release
+		}
+		return mixedVarianceRunner(a, rep)
+	}
+	ctrl, err := adaptive.New(adaptive.Options{Min: 2, Max: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mixedVariance(t, 8)
+	e.Run = blocking
+	s := New(Options{Workers: 4, Timeout: 25 * time.Millisecond, Controller: ctrl})
+	if _, err := s.Execute(e); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	close(release)
+	waitGoroutines(t, base)
+}

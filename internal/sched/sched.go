@@ -4,6 +4,11 @@
 // a runstore journal — units already journaled are replayed from disk
 // instead of re-executed.
 //
+// With Options.Controller set the fixed budget gives way to dynamic
+// work generation: the controller (internal/adaptive) grows each cell
+// batch by batch until its sequential-analysis stopping rule is met,
+// so replication is spent where variance demands it.
+//
 // The scheduler implements harness.Executor, so it plugs into the
 // package-level harness.Execute via harness.SetDefaultExecutor. It is an
 // opt-in: the sequential executor remains the default because concurrent
@@ -32,11 +37,26 @@ type Options struct {
 	// Retries is how many extra attempts a failed unit gets before its
 	// error aborts the run.
 	Retries int
-	// Timeout is the per-attempt wall-clock budget; 0 means none. The
-	// harness RunFunc signature carries no context, so a timed-out
-	// attempt's goroutine is abandoned, not interrupted — runners should
-	// be side-effect free on cancellation.
+	// Timeout is the per-attempt wall-clock budget; 0 means none.
+	//
+	// Abandonment contract: the harness RunFunc signature carries no
+	// context, so a timed-out attempt's goroutine is abandoned, not
+	// interrupted. The abandoned goroutine keeps running to completion
+	// in the background and its result is discarded — it is never
+	// journaled, never written into the ResultSet, and never counted in
+	// Stats, so a late finisher cannot corrupt a run that already moved
+	// on (or returned). The worker that launched it is released
+	// immediately (the handoff channel is buffered), so abandoned
+	// attempts cannot deadlock or shrink the pool. Runners should be
+	// side-effect free on cancellation; a runner that blocks forever
+	// leaks its goroutine until process exit.
 	Timeout time.Duration
+	// Controller, when set, switches the scheduler from the fixed
+	// rows x Replicates budget to controller-driven adaptive
+	// replication: work units are generated dynamically, one batch per
+	// cell at a time, until the controller's stopping rule is satisfied.
+	// See the Controller interface; internal/adaptive implements it.
+	Controller Controller
 	// Journal, when set, persists every completed unit and warm-starts
 	// from units already present. The caller keeps ownership (and must
 	// Close it).
@@ -49,18 +69,26 @@ type Options struct {
 
 // Stats counts what one Execute call did.
 type Stats struct {
-	Units    int // total units in the design (rows x replicates)
+	// Units is the number of completed units. With a fixed budget it is
+	// rows x replicates; under an adaptive Controller the work list is
+	// not enumerable up front, so Units is Executed + Replayed.
+	Units    int
 	Executed int // units run live
 	Replayed int // units restored from the journal without execution
 	Retried  int // failed attempts that were retried
+	// FixedBudget is what the run would have cost without a controller:
+	// rows x Design.Replicates. Equal to Units on fixed-budget runs; the
+	// budget report compares Units against it on adaptive ones.
+	FixedBudget int
 }
 
 // Scheduler executes experiments concurrently. It is safe for use from
 // multiple goroutines; LastStats reports the most recent Execute.
 type Scheduler struct {
-	opts Options
-	mu   sync.Mutex
-	last Stats
+	opts      Options
+	mu        sync.Mutex
+	last      Stats
+	lastCells []harness.CellStats
 }
 
 // New returns a Scheduler with the given options.
@@ -71,6 +99,28 @@ func (s *Scheduler) LastStats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.last
+}
+
+// CellStats implements harness.BudgetReporter: per-cell replicate spend
+// of the most recent Execute. It is nil unless that run was driven by an
+// adaptive Controller — a fixed-budget run spends uniformly, so there is
+// no per-cell budget story to tell.
+func (s *Scheduler) CellStats() []harness.CellStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastCells
+}
+
+// TakeCellStats returns CellStats and clears it, so a caller reporting
+// after each of several driver invocations (the perfeval run loop)
+// never re-attributes one experiment's budget to a driver that executed
+// no harness experiment at all.
+func (s *Scheduler) TakeCellStats() []harness.CellStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cells := s.lastCells
+	s.lastCells = nil
+	return cells
 }
 
 // unit is one (design row, replicate) execution.
@@ -99,6 +149,10 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 		defer journal.Close()
 	}
 
+	if s.opts.Controller != nil {
+		return s.executeDynamic(e, journal, s.opts.Controller)
+	}
+
 	rows := e.Design.NumRuns()
 	reps := e.Design.Replicates
 	results := make([][]map[string]float64, rows)
@@ -106,6 +160,7 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 	var pending []unit
 	var stats Stats
 	stats.Units = rows * reps
+	stats.FixedBudget = rows * reps
 	for r := 0; r < rows; r++ {
 		a, err := e.Design.Assignment(r)
 		if err != nil {
@@ -142,6 +197,7 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 	}
 	s.mu.Lock()
 	s.last = stats
+	s.lastCells = nil
 	s.mu.Unlock()
 	return rs, nil
 }

@@ -21,6 +21,24 @@ type Interval struct {
 // HalfWidth returns half the interval width.
 func (iv Interval) HalfWidth() float64 { return (iv.Hi - iv.Lo) / 2 }
 
+// RelHalfWidth returns the half-width relative to the magnitude of the
+// mean — the precision of the measurement in the paper's sense ("the
+// mean is known to within ±r%"). Sequential analysis stops replicating
+// once this drops below a target. For a zero mean the ratio is
+// undefined: a degenerate interval reports 0 (perfectly precise), any
+// other reports +Inf (relative precision unattainable), so a
+// "RelHalfWidth <= target" stopping rule stays conservative.
+func (iv Interval) RelHalfWidth() float64 {
+	hw := iv.HalfWidth()
+	if iv.Mean == 0 {
+		if hw == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return hw / math.Abs(iv.Mean)
+}
+
 // Contains reports whether v lies inside the interval (inclusive).
 func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
 

@@ -238,6 +238,31 @@ func TestPairedT(t *testing.T) {
 	}
 }
 
+func TestRelHalfWidth(t *testing.T) {
+	iv := Interval{Mean: 100, Lo: 95, Hi: 105}
+	approx(t, iv.RelHalfWidth(), 0.05, 1e-12, "rel half-width")
+
+	// Sign of the mean is irrelevant: precision is about magnitude.
+	neg := Interval{Mean: -100, Lo: -105, Hi: -95}
+	approx(t, neg.RelHalfWidth(), 0.05, 1e-12, "negative mean")
+
+	// A zero mean makes relative precision unattainable unless the
+	// interval is degenerate — the stopping rule must stay conservative.
+	if r := (Interval{Mean: 0, Lo: -1, Hi: 1}).RelHalfWidth(); !math.IsInf(r, 1) {
+		t.Errorf("zero mean with width should be +Inf, got %g", r)
+	}
+	if r := (Interval{Mean: 0, Lo: 0, Hi: 0}).RelHalfWidth(); r != 0 {
+		t.Errorf("degenerate zero interval should be 0, got %g", r)
+	}
+
+	// Consistency with MeanCI on a real sample.
+	ci, err := MeanCI([]float64{9.9, 10.0, 10.1, 10.0, 9.95, 10.05}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ci.RelHalfWidth(), ci.HalfWidth()/ci.Mean, 1e-12, "MeanCI consistency")
+}
+
 func TestQueriesPerSecond(t *testing.T) {
 	approx(t, QueriesPerSecond(100, 4), 25, 1e-12, "qps")
 	if !math.IsNaN(QueriesPerSecond(10, 0)) {
