@@ -26,3 +26,15 @@ race:
 .PHONY: bench
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Short native-fuzz smoke over the journal parser: arbitrary byte
+# streams must never panic Open, and complete records must round-trip.
+# CI runs this on every push; crank FUZZTIME locally for a deeper soak.
+FUZZTIME ?= 10s
+.PHONY: fuzz
+fuzz:
+	$(GO) test -fuzz=FuzzJournalParse -fuzztime=$(FUZZTIME) -run=^$$ ./internal/runstore
+
+.PHONY: cover
+cover:
+	$(GO) test -cover ./...

@@ -4,6 +4,9 @@
 //
 //	perfeval list
 //	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR]
+//	perfeval run <id>|all -Dsched.shards=N -Dsched.shard=K -Djournal.dir=DIR
+//	perfeval shard-plan <id>|all -Dsched.shards=N [-Djournal.dir=DIR]
+//	perfeval merge <out.jsonl> <src.jsonl>... [-Dmerge.strict=true]
 //	perfeval diff <baseline.jsonl> <current.jsonl> [-Ddiff.confidence=0.95] [-Ddiff.tolerance=0.05]
 //	perfeval compact <journal.jsonl> [-Dcompact.out=PATH]
 //	perfeval suite
@@ -28,6 +31,18 @@
 // switches the run onto the scheduler; after each experiment a budget
 // report prints the replicates spent per cell against the fixed-budget
 // equivalent.
+//
+// Sharded scale-out: -Dsched.shards=N -Dsched.shard=K partitions each
+// experiment's design rows by assignment hash so that N perfeval
+// processes (any mix of machines sharing nothing but the eventual merge
+// step) execute disjoint row sets, each journaling into its own shard
+// file <journal.dir>/<experiment>.shard-K-of-N.jsonl. shard-plan prints
+// the worker, merge, and verification commands for a given shard count,
+// plus the status of any shard files already present. merge folds shard
+// journals (last-wins, cross-source conflicts reported; with
+// -Dmerge.strict=true conflicts fail the command) into one journal in
+// canonical order — after `perfeval compact`, byte-identical to the
+// journal a single-process run of the same experiment produces.
 //
 // diff loads two run journals, aggregates them per (assignment,
 // response), and applies the regression gate (internal/runstore):
@@ -75,7 +90,7 @@ func runW(w io.Writer, args []string) error {
 		return err
 	}
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: perfeval list | run <id>|all | diff <baseline> <current> | compact <journal> | suite")
+		return fmt.Errorf("usage: perfeval list | run <id>|all | shard-plan <id>|all | merge <out> <src>... | diff <baseline> <current> | compact <journal> | suite")
 	}
 	switch rest[0] {
 	case "list":
@@ -127,6 +142,18 @@ func runW(w io.Writer, args []string) error {
 		}
 		return nil
 
+	case "shard-plan":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: perfeval shard-plan <id>|all -Dsched.shards=N [-Djournal.dir=DIR]")
+		}
+		return shardPlan(w, props, rest[1])
+
+	case "merge":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: perfeval merge <out.jsonl> <src.jsonl>...")
+		}
+		return merge(w, props, rest[1], rest[2:])
+
 	case "diff":
 		if len(rest) != 3 {
 			return fmt.Errorf("usage: perfeval diff <baseline.jsonl> <current.jsonl>")
@@ -157,7 +184,7 @@ func runW(w io.Writer, args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, diff, compact, or suite)", rest[0])
+		return fmt.Errorf("unknown command %q (want list, run, shard-plan, merge, diff, compact, or suite)", rest[0])
 	}
 }
 
@@ -169,14 +196,44 @@ func runW(w io.Writer, args []string) error {
 func installExecutor(w io.Writer, props *config.Properties) (restore func(), s *sched.Scheduler, err error) {
 	workersSet := props.GetOr("sched.workers", "") != ""
 	journalDir := props.GetOr("journal.dir", "")
+	shardsSet := props.GetOr("sched.shards", "") != ""
+	shardSet := props.GetOr("sched.shard", "") != ""
 	ctrl, ctrlBanner, err := buildController(props)
 	if err != nil {
 		return nil, nil, err
 	}
-	if !workersSet && journalDir == "" && ctrl == nil {
+	if !workersSet && journalDir == "" && ctrl == nil && !shardsSet && !shardSet {
 		return func() {}, nil, nil
 	}
 	opts := sched.Options{JournalDir: journalDir}
+	if shardSet && !shardsSet {
+		return nil, nil, fmt.Errorf("sched.shard needs sched.shards")
+	}
+	if shardsSet {
+		if opts.Shards, err = props.GetInt("sched.shards"); err != nil {
+			return nil, nil, err
+		}
+		if opts.Shards < 1 {
+			return nil, nil, fmt.Errorf("sched.shards = %d, need >= 1", opts.Shards)
+		}
+		if journalDir == "" {
+			return nil, nil, fmt.Errorf("sched.shards requires -Djournal.dir (shard files are the run's only output)")
+		}
+		if !shardSet && opts.Shards > 1 {
+			// Defaulting to shard 0 would silently execute a fraction of
+			// the design and exit 0 — a dropped flag in a worker script
+			// must fail loudly, not produce an incomplete dataset.
+			return nil, nil, fmt.Errorf("sched.shards = %d needs an explicit -Dsched.shard=K (0..%d)", opts.Shards, opts.Shards-1)
+		}
+		if shardSet {
+			if opts.Shard, err = props.GetInt("sched.shard"); err != nil {
+				return nil, nil, err
+			}
+		}
+		if opts.Shard < 0 || opts.Shard >= opts.Shards {
+			return nil, nil, fmt.Errorf("sched.shard = %d out of range [0,%d)", opts.Shard, opts.Shards)
+		}
+	}
 	if ctrl != nil { // assigning a nil *Controller would make the interface non-nil
 		opts.Controller = ctrl
 	}
@@ -206,6 +263,9 @@ func installExecutor(w io.Writer, props *config.Properties) (restore func(), s *
 	fmt.Fprintf(w, "scheduler: %d workers", opts.Workers)
 	if journalDir != "" {
 		fmt.Fprintf(w, ", journal %s", journalDir)
+	}
+	if opts.Shards > 0 {
+		fmt.Fprintf(w, ", shard %d of %d", opts.Shard, opts.Shards)
 	}
 	if ctrlBanner != "" {
 		fmt.Fprintf(w, ", %s", ctrlBanner)
@@ -294,6 +354,100 @@ func budgetReport(w io.Writer, s *sched.Scheduler) {
 		fmt.Fprintf(w, " (%.1f%% saved)", (1-float64(st.Units)/float64(st.FixedBudget))*100)
 	}
 	fmt.Fprintf(w, "\n%s\n", tab.String())
+}
+
+// merge folds shard journals into one canonical journal and reports
+// cross-source conflicts; with merge.strict=true conflicts fail the
+// command after the (last-wins) merge has still been written.
+func merge(w io.Writer, props *config.Properties, out string, srcs []string) error {
+	strict := false
+	if props.GetOr("merge.strict", "") != "" {
+		var err error
+		if strict, err = props.GetBool("merge.strict"); err != nil {
+			return err
+		}
+	}
+	ms, err := runstore.Merge(srcs, out)
+	if err != nil {
+		return err
+	}
+	for _, c := range ms.Conflicts {
+		fmt.Fprintf(w, "conflict: %s: %s overrides %s\n", c.Key, c.Later, c.Earlier)
+	}
+	fmt.Fprintf(w, "merged %d source(s) into %s: kept %d record(s), dropped %d superseded, %d conflict(s)",
+		ms.Sources, out, ms.Kept, ms.Superseded, len(ms.Conflicts))
+	if ms.TornSources > 0 {
+		fmt.Fprintf(w, ", torn tail dropped in %d source(s)", ms.TornSources)
+	}
+	fmt.Fprintln(w)
+	if strict && len(ms.Conflicts) > 0 {
+		return fmt.Errorf("%d conflicting record(s) across sources", len(ms.Conflicts))
+	}
+	return nil
+}
+
+// shardPlan prints the copy-pasteable command sequence of the sharded
+// workflow — one worker command per shard, then the merge, compact, and
+// diff steps — and, when the journal directory already exists, a status
+// table of the shard files found there.
+func shardPlan(w io.Writer, props *config.Properties, id string) error {
+	shards, err := props.GetInt("sched.shards")
+	if err != nil {
+		return fmt.Errorf("shard-plan needs -Dsched.shards=N: %w", err)
+	}
+	if shards < 1 {
+		return fmt.Errorf("sched.shards = %d, need >= 1", shards)
+	}
+	if id != "all" {
+		known := false
+		for _, e := range paperexp.Registry() {
+			if e.ID == id {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown experiment %q (see perfeval list)", id)
+		}
+	}
+	dir := props.GetOr("journal.dir", "shards")
+	fmt.Fprintf(w, "shard plan: run %s across %d worker process(es), journal dir %s\n\n", id, shards, dir)
+	fmt.Fprintf(w, "# 1. one worker per shard — separate processes or machines, any order;\n")
+	fmt.Fprintf(w, "#    each executes only the design rows its shard owns and writes\n")
+	fmt.Fprintf(w, "#    %s/<experiment>.shard-K-of-%03d.jsonl:\n", dir, shards)
+	for k := 0; k < shards; k++ {
+		fmt.Fprintf(w, "perfeval run %s -Dsched.shards=%d -Dsched.shard=%d -Djournal.dir=%s\n", id, shards, k, dir)
+	}
+	fmt.Fprintf(w, "\n# 2. merge each experiment's shard files into one canonical journal:\n")
+	fmt.Fprintf(w, "perfeval merge %s/merged/<experiment>.jsonl %s/<experiment>.shard-*-of-%03d.jsonl\n", dir, dir, shards)
+	fmt.Fprintf(w, "\n# 3. compact is then a byte-identical no-op (merge already wrote the\n")
+	fmt.Fprintf(w, "#    canonical last-wins form), so archives stay stable:\n")
+	fmt.Fprintf(w, "perfeval compact %s/merged/<experiment>.jsonl\n", dir)
+	fmt.Fprintf(w, "\n# 4. replay the merged journal for the full artifact, or gate it:\n")
+	fmt.Fprintf(w, "perfeval run %s -Djournal.dir=%s/merged\n", id, dir)
+	fmt.Fprintf(w, "perfeval diff <baseline.jsonl> %s/merged/<experiment>.jsonl\n", dir)
+
+	pattern := filepath.Join(dir, fmt.Sprintf("*.shard-*-of-%03d.jsonl", shards))
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	sort.Strings(files)
+	fmt.Fprintf(w, "\nshard files present under %s:\n", dir)
+	tab := harness.NewTable().Header("file", "records", "distinct", "torn")
+	for _, f := range files {
+		info, err := runstore.Inspect(f)
+		if err != nil {
+			return err
+		}
+		tab.Row(filepath.Base(f), fmt.Sprintf("%d", info.Records),
+			fmt.Sprintf("%d", info.Distinct), fmt.Sprintf("%v", info.Torn))
+	}
+	fmt.Fprint(w, tab.String())
+	return nil
 }
 
 // diff gates a current run journal against a baseline journal and

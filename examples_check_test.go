@@ -1,0 +1,24 @@
+package repro
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesVet builds and vets every example program, so drift in
+// examples/ (which has no test files of its own) fails `go test ./...`
+// and CI instead of rotting silently. go vet compiles the packages, so
+// this is a build assertion too.
+func TestExamplesVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go vet subprocess in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	out, err := exec.Command(goTool, "vet", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Errorf("go vet ./examples/...: %v\n%s", err, out)
+	}
+}

@@ -193,7 +193,19 @@ func (rs *ResultSet) Report() string {
 		header = append(header, r)
 	}
 	tab.Header(header...)
-	replicated := len(rs.Rows) > 0 && len(rs.Rows[0].Reps) >= 2
+	// A sharded worker's ResultSet is partial: rows owned by other
+	// shards carry no replicates. Probe every row — row 0 alone says
+	// nothing when per-row replicate counts are heterogeneous.
+	measured, replicated := 0, false
+	for _, row := range rs.Rows {
+		if len(row.Reps) > 0 {
+			measured++
+		}
+		if len(row.Reps) >= 2 {
+			replicated = true
+		}
+	}
+	partial := measured < len(rs.Rows)
 	for r, row := range rs.Rows {
 		cells := []string{fmt.Sprintf("%d", r+1)}
 		for _, f := range e.Design.Factors {
@@ -201,6 +213,12 @@ func (rs *ResultSet) Report() string {
 		}
 		for _, resp := range e.Responses {
 			vals := rs.Replicates(r, resp)
+			if len(vals) == 0 {
+				// A partial ResultSet — e.g. a shard worker's view of rows
+				// other shards own. Render a placeholder, not NaN.
+				cells = append(cells, "-")
+				continue
+			}
 			if replicated {
 				iv, err := stats.MeanCI(vals, 0.95)
 				if err == nil {
@@ -214,6 +232,13 @@ func (rs *ResultSet) Report() string {
 	}
 	b.WriteString(tab.String())
 
+	if partial {
+		// Effect estimation over missing rows would render a NaN model
+		// and fabricated variation shares; say why it is absent instead.
+		fmt.Fprintf(&b, "\npartial result set: %d of %d rows measured; analysis needs the complete design (merge the shard journals and replay)\n",
+			measured, len(rs.Rows))
+		return b.String()
+	}
 	if e.Design.Kind == design.KindTwoLevel {
 		for _, resp := range e.Responses {
 			// Prefer the replicated analysis (with its experimental-

@@ -1,11 +1,8 @@
 package runstore
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 )
 
 // CompactStats reports what one compaction did.
@@ -28,7 +25,8 @@ type CompactStats struct {
 // directory which is fsynced and renamed into place. dst == "" compacts
 // in place; otherwise src is left untouched and the compacted journal is
 // written to dst. Compaction is idempotent — compacting a compacted
-// journal is a byte-identical no-op.
+// journal is a byte-identical no-op. Compact preserves append order;
+// use Merge to rewrite a journal in canonical cross-writer order.
 func Compact(src, dst string) (CompactStats, error) {
 	var cs CompactStats
 	data, err := os.ReadFile(src)
@@ -47,52 +45,8 @@ func Compact(src, dst string) (CompactStats, error) {
 	if dst == "" {
 		dst = src
 	}
-	if dir := filepath.Dir(dst); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return cs, fmt.Errorf("runstore: %w", err)
-		}
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".compact-*")
-	if err != nil {
-		return cs, fmt.Errorf("runstore: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	// CreateTemp makes a 0600 file; match the journal's own mode so an
-	// in-place compaction does not silently tighten permissions.
-	mode := os.FileMode(0o644)
-	if fi, err := os.Stat(src); err == nil {
-		mode = fi.Mode().Perm()
-	}
-	if err := tmp.Chmod(mode); err != nil {
-		tmp.Close()
-		return cs, fmt.Errorf("runstore: %w", err)
-	}
-	// Write the surviving records directly with one Sync at the end —
-	// the temp file needs durability exactly once, before the rename,
-	// not per record like live appends do.
-	bw := bufio.NewWriter(tmp)
-	for _, rec := range recs {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			tmp.Close()
-			return cs, fmt.Errorf("runstore: %w", err)
-		}
-		bw.Write(line)
-		bw.WriteByte('\n')
-	}
-	if err := bw.Flush(); err != nil {
-		tmp.Close()
-		return cs, fmt.Errorf("runstore: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return cs, fmt.Errorf("runstore: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return cs, fmt.Errorf("runstore: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		return cs, fmt.Errorf("runstore: %w", err)
+	if err := writeRecords(dst, recs, src); err != nil {
+		return cs, err
 	}
 	return cs, nil
 }

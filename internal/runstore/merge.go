@@ -1,0 +1,186 @@
+package runstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Conflict is one key whose stored measurements disagree across merge
+// sources — two workers measured the same (experiment, assignment,
+// replicate) unit and got different responses. In the disjoint-shard
+// workflow this never happens; it signals overlapping shard assignments
+// or workers run against different builds.
+type Conflict struct {
+	Key     string // runstore key of the disputed unit
+	Earlier string // source path whose record was overridden
+	Later   string // source path whose record won (last-wins)
+}
+
+// MergeStats reports what one Merge did.
+type MergeStats struct {
+	Sources     int        // source files read
+	Kept        int        // distinct records written to the destination
+	Superseded  int        // records dropped by last-wins (within and across sources)
+	Conflicts   []Conflict // cross-source disagreements (last source still wins)
+	TornSources int        // sources whose torn trailing line was dropped
+}
+
+// Merge folds the journals at srcs into a single journal at dst:
+// last-wins per (experiment, hash, replicate) key in source order (and in
+// append order within a source), with cross-source disagreements reported
+// as Conflicts. Torn trailing lines in sources are dropped exactly as
+// Open would drop them, so merging the shards of a crashed worker is
+// safe.
+//
+// The output is written in canonical order — (experiment, design row,
+// replicate, hash) — so a merged journal is byte-identical regardless of
+// how work was sharded across writers: N disjoint shard journals merge to
+// the same bytes a single-writer journal of the same run merges to.
+// Merging a single source therefore canonicalizes a journal in place.
+//
+// The write is atomic (temp file, fsync, rename) and the whole operation
+// is idempotent: merging a merged journal is a byte-identical no-op, and
+// Compact on a merged journal keeps every byte (a merge output already
+// holds exactly one record per key in a stable order).
+func Merge(srcs []string, dst string) (MergeStats, error) {
+	var ms MergeStats
+	if len(srcs) == 0 {
+		return ms, fmt.Errorf("runstore: merge needs at least one source journal")
+	}
+	if dst == "" {
+		return ms, fmt.Errorf("runstore: merge needs a destination path")
+	}
+	ms.Sources = len(srcs)
+	merged := make(map[string]Record)
+	from := make(map[string]string)
+	total := 0
+	for _, src := range srcs {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return ms, fmt.Errorf("runstore: %w", err)
+		}
+		j := &Journal{path: src, recs: make(map[string]Record)}
+		if _, err := j.parse(data); err != nil {
+			return ms, fmt.Errorf("runstore: %s: %w", src, err)
+		}
+		if j.torn {
+			ms.TornSources++
+		}
+		total += j.appended
+		for _, rec := range j.Records() {
+			k := rec.Key()
+			if prev, seen := merged[k]; seen && !sameMeasurement(prev, rec) {
+				ms.Conflicts = append(ms.Conflicts, Conflict{Key: k, Earlier: from[k], Later: src})
+			}
+			merged[k] = rec
+			from[k] = src
+		}
+	}
+	recs := make([]Record, 0, len(merged))
+	for _, rec := range merged {
+		recs = append(recs, rec)
+	}
+	sortCanonical(recs)
+	ms.Kept = len(recs)
+	ms.Superseded = total - len(recs)
+	if err := writeRecords(dst, recs, srcs[0]); err != nil {
+		return ms, err
+	}
+	return ms, nil
+}
+
+// sameMeasurement reports whether two records carry the same measurement:
+// identical assignment and responses. The informational Row field is
+// deliberately excluded — re-numbering a design must not read as a
+// conflicting measurement.
+func sameMeasurement(a, b Record) bool {
+	if len(a.Assignment) != len(b.Assignment) || len(a.Responses) != len(b.Responses) {
+		return false
+	}
+	for k, v := range a.Assignment {
+		if bv, ok := b.Assignment[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k, v := range a.Responses {
+		if bv, ok := b.Responses[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sortCanonical orders records by (experiment, design row, replicate,
+// hash) — the order a single sequential run appends in, so merged
+// multi-writer journals and single-writer journals compare byte-for-byte
+// after canonicalization.
+func sortCanonical(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		if a.Replicate != b.Replicate {
+			return a.Replicate < b.Replicate
+		}
+		return a.Hash < b.Hash
+	})
+}
+
+// writeRecords atomically replaces dst with the given records, one JSON
+// line each: temp file in the target directory, single fsync, rename.
+// The file mode is copied from modeFrom when it exists (so rewriting a
+// journal in place never silently changes its permissions), 0644
+// otherwise. Compact and Merge share this path.
+func writeRecords(dst string, recs []Record, modeFrom string) error {
+	if dir := filepath.Dir(dst); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("runstore: %w", err)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".rewrite-*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(modeFrom); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runstore: %w", err)
+	}
+	bw := bufio.NewWriter(tmp)
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("runstore: %w", err)
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
+}

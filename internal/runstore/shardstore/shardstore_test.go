@@ -1,0 +1,233 @@
+package shardstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runstore"
+)
+
+func record(row, rep int, level string, ms float64) runstore.Record {
+	a := map[string]string{"f": level}
+	return runstore.Record{
+		Experiment: "exp", Row: row, Replicate: rep,
+		Hash: runstore.AssignmentHash(a), Assignment: a,
+		Responses: map[string]float64{"ms": ms},
+	}
+}
+
+// levels produces enough distinct assignments that every shard of a
+// small store owns at least one (FNV spreads, but nothing guarantees a
+// given 2-level factor splits 2 ways — use many levels).
+func levels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("L%02d", i)
+	}
+	return out
+}
+
+// TestFanOutAndMergedView appends through the full store and checks the
+// records land in the shard files ShardIndex dictates, while reads serve
+// the union.
+func TestFanOutAndMergedView(t *testing.T) {
+	dir := t.TempDir()
+	const shards = 3
+	s, err := Open(dir, "exp", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []runstore.Record
+	for row, level := range levels(8) {
+		for rep := 0; rep < 2; rep++ {
+			r := record(row, rep, level, float64(10*row+rep))
+			recs = append(recs, r)
+			if err := s.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.Len() != len(recs) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(recs))
+	}
+	for _, r := range recs {
+		got, ok := s.Lookup("exp", r.Hash, r.Replicate)
+		if !ok || got.Responses["ms"] != r.Responses["ms"] {
+			t.Errorf("Lookup(%s) = %+v ok=%v", r.Key(), got, ok)
+		}
+		if n := s.ReplicateCount("exp", r.Hash); n != 2 {
+			t.Errorf("ReplicateCount(%s) = %d, want 2", r.Hash, n)
+		}
+	}
+	if got := len(s.Records()); got != len(recs) {
+		t.Errorf("Records() = %d entries, want %d", got, len(recs))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every shard file exists and holds exactly the records that route
+	// to it.
+	total := 0
+	for i, path := range Paths(dir, "exp", shards) {
+		loaded, err := runstore.LoadRecords(path)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		for _, r := range loaded {
+			if got := runstore.ShardIndex(r.Hash, shards); got != i {
+				t.Errorf("record %s in shard file %d, ShardIndex says %d", r.Key(), i, got)
+			}
+		}
+		total += len(loaded)
+	}
+	if total != len(recs) {
+		t.Errorf("shard files hold %d records, want %d", total, len(recs))
+	}
+
+	// Reopening the full store serves everything (warm start).
+	s2, err := Open(dir, "exp", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != len(recs) {
+		t.Errorf("reopened Len = %d, want %d", s2.Len(), len(recs))
+	}
+}
+
+// TestOpenShardOwnership checks the single-shard worker mode: only the
+// owned file is created, unowned lookups miss, and unowned appends fail
+// loudly instead of overlapping another worker's shard.
+func TestOpenShardOwnership(t *testing.T) {
+	dir := t.TempDir()
+	const shards = 3
+	// Find one record per shard.
+	byShard := map[int]runstore.Record{}
+	for row, level := range levels(32) {
+		r := record(row, 0, level, float64(row))
+		idx := runstore.ShardIndex(r.Hash, shards)
+		if _, ok := byShard[idx]; !ok {
+			byShard[idx] = r
+		}
+	}
+	if len(byShard) != shards {
+		t.Fatalf("test levels cover only %d of %d shards", len(byShard), shards)
+	}
+
+	const own = 1
+	s, err := OpenShard(dir, "exp", own, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(byShard[own]); err != nil {
+		t.Errorf("append of owned record failed: %v", err)
+	}
+	err = s.Append(byShard[(own+1)%shards])
+	if err == nil {
+		t.Error("append of unowned record should fail")
+	} else if want := fmt.Sprintf("owns only shard %d", own); !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Errorf("unowned append error %q should mention %q", err, want)
+	}
+	if _, ok := s.Lookup("exp", byShard[(own+1)%shards].Hash, 0); ok {
+		t.Error("unowned lookup should miss")
+	}
+	if got, ok := s.Lookup("exp", byShard[own].Hash, 0); !ok || got.Responses["ms"] != byShard[own].Responses["ms"] {
+		t.Errorf("owned lookup = %+v ok=%v", got, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the owned shard file exists: a worker never creates (or
+	// torn-tail-repairs) files other workers own.
+	for i := 0; i < shards; i++ {
+		_, err := os.Stat(Path(dir, "exp", i, shards))
+		if i == own && err != nil {
+			t.Errorf("owned shard file missing: %v", err)
+		}
+		if i != own && !os.IsNotExist(err) {
+			t.Errorf("unowned shard file %d exists (err %v)", i, err)
+		}
+	}
+}
+
+// TestDisjointWorkersMergeLikeOneWriter runs the core scale-out claim at
+// the store level: N single-shard stores written independently merge to
+// the same bytes as one fan-out store's shards.
+func TestDisjointWorkersMergeLikeOneWriter(t *testing.T) {
+	const shards = 2
+	recs := make([]runstore.Record, 0, 12)
+	for row, level := range levels(6) {
+		for rep := 0; rep < 2; rep++ {
+			recs = append(recs, record(row, rep, level, float64(10*row+rep)))
+		}
+	}
+
+	workers := t.TempDir()
+	for k := 0; k < shards; k++ {
+		s, err := OpenShard(workers, "exp", k, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if runstore.ShardIndex(r.Hash, shards) == k {
+				if err := s.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		s.Close()
+	}
+
+	single := t.TempDir()
+	s, err := Open(single, "exp", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	mergedWorkers := filepath.Join(workers, "merged.jsonl")
+	if _, err := runstore.Merge(Paths(workers, "exp", shards), mergedWorkers); err != nil {
+		t.Fatal(err)
+	}
+	mergedSingle := filepath.Join(single, "merged.jsonl")
+	if _, err := runstore.Merge(Paths(single, "exp", shards), mergedSingle); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(mergedWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(mergedSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("disjoint workers and one writer merge to different bytes:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, "exp", 0); err == nil {
+		t.Error("0 shards should error")
+	}
+	if _, err := Open(dir, "", 2); err == nil {
+		t.Error("empty experiment should error")
+	}
+	if _, err := OpenShard(dir, "exp", 2, 2); err == nil {
+		t.Error("shard index out of range should error")
+	}
+	if _, err := OpenShard(dir, "exp", -1, 2); err == nil {
+		t.Error("negative shard index should error")
+	}
+}

@@ -1,0 +1,79 @@
+package runstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// Store is the persistence interface the scheduler (internal/sched)
+// executes against: lookup and warm-start reads, durable appends, and a
+// deterministic full-record view. *Journal — the single-file JSONL
+// backend — is the reference implementation; shardstore (a sharded
+// directory of journals) is the scale-out one, and future backends (a
+// result database for million-run archives, a remote-worker feed) plug
+// in behind the same five methods without touching the scheduler.
+//
+// Contract notes for implementors:
+//   - Lookup and ReplicateCount must serve the last-wins view of every
+//     record Append has durably persisted, plus whatever the store loaded
+//     on open.
+//   - Append must be durable before it returns: a crash immediately after
+//     a successful Append must not lose the record.
+//   - Records must be deterministic for a given store state.
+//   - All methods must be safe for concurrent use.
+type Store interface {
+	// Lookup returns the stored record for one unit, if present.
+	Lookup(experiment, hash string, replicate int) (Record, bool)
+	// ReplicateCount returns how many contiguous replicates (0..n-1) of
+	// one cell the store holds — the warm-start budget already spent.
+	ReplicateCount(experiment, hash string) int
+	// Records returns all distinct records in the store's deterministic
+	// order.
+	Records() []Record
+	// Append validates, persists, and indexes one record.
+	Append(Record) error
+	// Close releases the store's resources; reads may keep serving the
+	// in-memory view, Append fails afterwards.
+	Close() error
+}
+
+// The JSONL journal is the reference Store backend.
+var _ Store = (*Journal)(nil)
+
+// ShardIndex maps an assignment hash to one of n shards. Every layer of
+// the sharded workflow — the scheduler's row partition, the shardstore's
+// append routing, and the shard-plan tooling — must agree on this
+// function, or disjoint workers would write overlapping shards. The hash
+// string is re-hashed (FNV-1a) rather than parsed so any stable cell
+// identifier shards evenly, not just the 16-hex AssignmentHash form.
+func ShardIndex(hash string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(hash))
+	return int(h.Sum64() % uint64(n))
+}
+
+// Info summarizes one journal file without opening it for writing.
+type Info struct {
+	Records  int  // complete records in the file, including superseded ones
+	Distinct int  // distinct (experiment, hash, replicate) keys
+	Torn     bool // the file ends in a torn (crash-interrupted) line
+}
+
+// Inspect reads a journal file read-only and reports its shape — the
+// status probe behind `perfeval shard-plan`. A torn trailing line is
+// reported, not repaired; a corrupt interior line is an error.
+func Inspect(path string) (Info, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Info{}, fmt.Errorf("runstore: %w", err)
+	}
+	j := &Journal{path: path, recs: make(map[string]Record)}
+	if _, err := j.parse(data); err != nil {
+		return Info{}, fmt.Errorf("runstore: %s: %w", path, err)
+	}
+	return Info{Records: j.appended, Distinct: len(j.recs), Torn: j.torn}, nil
+}

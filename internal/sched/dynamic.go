@@ -86,7 +86,7 @@ func declaredResponses(e *harness.Experiment, resp map[string]float64) map[strin
 // replicates replay from the journal and count against the budget.
 // Retry, timeout, journaling, and design-ordered result assembly all
 // behave exactly as on the fixed path.
-func (s *Scheduler) executeDynamic(e *harness.Experiment, journal *runstore.Journal, ctrl Controller) (*harness.ResultSet, error) {
+func (s *Scheduler) executeDynamic(e *harness.Experiment, journal runstore.Store, ctrl Controller) (*harness.ResultSet, error) {
 	rows := e.Design.NumRuns()
 	cells := make([]*cellState, rows)
 	var stats Stats
@@ -178,7 +178,7 @@ func (s *Scheduler) executeDynamic(e *harness.Experiment, journal *runstore.Jour
 // goroutine (this one) owns the queue, the cell states, and every
 // controller call at a batch boundary, so no lock is needed on any of
 // them; workers only execute units and journal them.
-func (s *Scheduler) runDynamicPool(e *harness.Experiment, journal *runstore.Journal, ctrl Controller, cells []*cellState, queue []unit, stats *Stats) error {
+func (s *Scheduler) runDynamicPool(e *harness.Experiment, journal runstore.Store, ctrl Controller, cells []*cellState, queue []unit, stats *Stats) error {
 	if len(queue) == 0 {
 		return nil
 	}

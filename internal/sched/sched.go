@@ -27,6 +27,7 @@ import (
 	"repro/internal/design"
 	"repro/internal/harness"
 	"repro/internal/runstore"
+	"repro/internal/runstore/shardstore"
 )
 
 // Options configure a Scheduler.
@@ -57,14 +58,31 @@ type Options struct {
 	// cell at a time, until the controller's stopping rule is satisfied.
 	// See the Controller interface; internal/adaptive implements it.
 	Controller Controller
-	// Journal, when set, persists every completed unit and warm-starts
-	// from units already present. The caller keeps ownership (and must
-	// Close it).
-	Journal *runstore.Journal
-	// JournalDir, when Journal is nil, makes the scheduler open (and
-	// close) a per-experiment journal at <JournalDir>/<experiment>.jsonl
-	// for each Execute call.
+	// Store, when set, persists every completed unit and warm-starts
+	// from units already present. Any runstore.Store backend works: the
+	// single-file JSONL journal, the sharded directory store
+	// (internal/runstore/shardstore), or a future database backend. The
+	// caller keeps ownership (and must Close it).
+	Store runstore.Store
+	// JournalDir, when Store is nil, makes the scheduler open (and
+	// close) a per-experiment store under JournalDir for each Execute
+	// call: a plain journal at <JournalDir>/<experiment>.jsonl, or — with
+	// Shards > 0 — this process's shard of a sharded directory store.
 	JournalDir string
+	// Shards, when > 0, partitions the design's rows across Shards
+	// cooperating scheduler processes by assignment hash
+	// (runstore.ShardIndex): this scheduler executes only the rows owned
+	// by shard Shard and skips the rest, so N workers given the same
+	// experiment and the same Shards cover the design disjointly and
+	// exhaustively. Sharded execution requires a store (completed work
+	// would otherwise be unreachable by the merge step) and a fixed
+	// replication budget (no Controller). Rows owned by other shards
+	// appear in the ResultSet with only the replicates the store already
+	// holds — usually none during a worker run; run the merged journal
+	// through an unsharded scheduler for the complete artifact.
+	Shards int
+	// Shard is this process's shard index in [0, Shards).
+	Shard int
 }
 
 // Stats counts what one Execute call did.
@@ -76,6 +94,7 @@ type Stats struct {
 	Executed int // units run live
 	Replayed int // units restored from the journal without execution
 	Retried  int // failed attempts that were retried
+	Skipped  int // units owned by other shards of a sharded run
 	// FixedBudget is what the run would have cost without a controller:
 	// rows x Design.Replicates. Equal to Units on fixed-budget runs; the
 	// budget report compares Units against it on adaptive ones.
@@ -139,27 +158,42 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
-	journal := s.opts.Journal
-	if journal == nil && s.opts.JournalDir != "" {
+	sharded := s.opts.Shards > 0
+	if sharded {
+		switch {
+		case s.opts.Shard < 0 || s.opts.Shard >= s.opts.Shards:
+			return nil, fmt.Errorf("sched: shard %d out of range [0,%d)", s.opts.Shard, s.opts.Shards)
+		case s.opts.Store == nil && s.opts.JournalDir == "":
+			return nil, fmt.Errorf("sched: sharded execution requires a store (Options.Store or JournalDir); without one the merge step has nothing to collect")
+		case s.opts.Controller != nil:
+			return nil, fmt.Errorf("sched: sharded execution requires a fixed replication budget, not an adaptive Controller")
+		}
+	}
+	store := s.opts.Store
+	if store == nil && s.opts.JournalDir != "" {
 		var err error
-		journal, err = runstore.OpenDir(s.opts.JournalDir, e.Name)
+		if sharded {
+			store, err = shardstore.OpenShard(s.opts.JournalDir, e.Name, s.opts.Shard, s.opts.Shards)
+		} else {
+			store, err = runstore.OpenDir(s.opts.JournalDir, e.Name)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sched: %w", err)
 		}
-		defer journal.Close()
+		defer store.Close()
 	}
 
 	if s.opts.Controller != nil {
-		return s.executeDynamic(e, journal, s.opts.Controller)
+		return s.executeDynamic(e, store, s.opts.Controller)
 	}
 
 	rows := e.Design.NumRuns()
 	reps := e.Design.Replicates
 	results := make([][]map[string]float64, rows)
 	assignments := make([]design.Assignment, rows)
+	owned := make([]bool, rows)
 	var pending []unit
 	var stats Stats
-	stats.Units = rows * reps
 	stats.FixedBudget = rows * reps
 	for r := 0; r < rows; r++ {
 		a, err := e.Design.Assignment(r)
@@ -168,10 +202,11 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 		}
 		assignments[r] = a
 		hash := runstore.AssignmentHash(a)
+		owned[r] = !sharded || runstore.ShardIndex(hash, s.opts.Shards) == s.opts.Shard
 		results[r] = make([]map[string]float64, reps)
 		for rep := 0; rep < reps; rep++ {
-			if journal != nil {
-				if rec, ok := journal.Lookup(e.Name, hash, rep); ok {
+			if store != nil {
+				if rec, ok := store.Lookup(e.Name, hash, rep); ok {
 					// Replay only if the journaled record satisfies the
 					// experiment's current response contract; otherwise
 					// fall through and re-execute (e.g. a new response
@@ -183,17 +218,33 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 					}
 				}
 			}
+			if !owned[r] {
+				stats.Skipped++
+				continue
+			}
 			pending = append(pending, unit{row: r, rep: rep, a: a, hash: hash})
 		}
 	}
+	stats.Units = rows*reps - stats.Skipped
 
-	if err := s.runPool(e, journal, pending, results, &stats); err != nil {
+	if err := s.runPool(e, store, pending, results, &stats); err != nil {
 		return nil, err
 	}
 
 	rs := &harness.ResultSet{Experiment: e}
 	for r := 0; r < rows; r++ {
-		rs.Rows = append(rs.Rows, harness.ResultRow{Assignment: assignments[r], Reps: results[r]})
+		rowReps := results[r]
+		if !owned[r] {
+			// An unowned row carries only what the store already held:
+			// its contiguous replicate prefix. Trim the unexecuted tail
+			// so the ResultSet never holds nil replicates.
+			n := 0
+			for n < len(rowReps) && rowReps[n] != nil {
+				n++
+			}
+			rowReps = rowReps[:n]
+		}
+		rs.Rows = append(rs.Rows, harness.ResultRow{Assignment: assignments[r], Reps: rowReps})
 	}
 	s.mu.Lock()
 	s.last = stats
@@ -205,7 +256,7 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 // runPool drives the pending units through the worker pool. Each worker
 // writes into a distinct (row, rep) slot of results, so no lock is
 // needed on the result matrix; stats counters are mutex-guarded.
-func (s *Scheduler) runPool(e *harness.Experiment, journal *runstore.Journal, pending []unit, results [][]map[string]float64, stats *Stats) error {
+func (s *Scheduler) runPool(e *harness.Experiment, store runstore.Store, pending []unit, results [][]map[string]float64, stats *Stats) error {
 	if len(pending) == 0 {
 		return nil
 	}
@@ -247,8 +298,8 @@ func (s *Scheduler) runPool(e *harness.Experiment, journal *runstore.Journal, pe
 					fail(err)
 					return
 				}
-				if journal != nil {
-					err := journal.Append(runstore.Record{
+				if store != nil {
+					err := store.Append(runstore.Record{
 						Experiment: e.Name,
 						Row:        u.row,
 						Replicate:  u.rep,
