@@ -25,7 +25,16 @@ race:
 
 .PHONY: bench
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Documentation lint, run by CI: broken intra-repo links in README/docs
+# and exported identifiers missing doc comments in the subsystem
+# packages fail the build. go vet first — parse errors should name
+# themselves, not surface as lint noise.
+.PHONY: docs-check
+docs-check:
+	$(GO) vet ./...
+	$(GO) run ./tools/docscheck
 
 # Short native-fuzz smoke over the journal parser: arbitrary byte
 # streams must never panic Open, and complete records must round-trip.

@@ -3,10 +3,12 @@
 // Usage:
 //
 //	perfeval list
-//	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR]
+//	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR] [-Dstore=journal|archive]
 //	perfeval run <id>|all -Dsched.shards=N -Dsched.shard=K -Djournal.dir=DIR
 //	perfeval shard-plan <id>|all -Dsched.shards=N [-Djournal.dir=DIR]
-//	perfeval merge <out.jsonl> <src.jsonl>... [-Dmerge.strict=true]
+//	perfeval merge <out.jsonl|out.arch> <src.jsonl|src.arch>... [-Dmerge.strict=true]
+//	perfeval archive <out.arch> <src.jsonl|src.arch>...
+//	perfeval inspect <file>... [-Dinspect.strict=true]
 //	perfeval diff <baseline.jsonl> <current.jsonl> [-Ddiff.confidence=0.95] [-Ddiff.tolerance=0.05]
 //	perfeval compact <journal.jsonl> [-Dcompact.out=PATH]
 //	perfeval suite
@@ -44,6 +46,19 @@
 // canonical order — after `perfeval compact`, byte-identical to the
 // journal a single-process run of the same experiment produces.
 //
+// The archive store (-Dstore=archive) swaps the per-experiment JSONL
+// journal for the block-indexed single-file archive
+// (internal/runstore/archivestore): same warm-start and durability
+// semantics, but reopening a finished run costs O(index), not a re-parse
+// of every record — the backend for million-run archives. `perfeval
+// archive out.arch src...` converts journals (or merged shards, or other
+// archives) into one verified archive; `perfeval inspect` prints any
+// store file's shape — record/distinct counts, archive block and index
+// page stats — and reports torn or truncated tails instead of silently
+// counting only the valid prefix (-Dinspect.strict=true turns a torn
+// tail into a non-zero exit). diff and merge read archives wherever they
+// read journals.
+//
 // diff loads two run journals, aggregates them per (assignment,
 // response), and applies the regression gate (internal/runstore):
 // confidence intervals that have shifted versus the baseline are flagged
@@ -63,14 +78,17 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
+	"strings"
 
 	"repro/internal/adaptive"
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/paperexp"
 	"repro/internal/runstore"
+	"repro/internal/runstore/archivestore"
 	"repro/internal/sched"
 )
 
@@ -90,7 +108,7 @@ func runW(w io.Writer, args []string) error {
 		return err
 	}
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: perfeval list | run <id>|all | shard-plan <id>|all | merge <out> <src>... | diff <baseline> <current> | compact <journal> | suite")
+		return fmt.Errorf("usage: perfeval list | run <id>|all | shard-plan <id>|all | merge <out> <src>... | archive <out.arch> <src>... | inspect <file>... | diff <baseline> <current> | compact <journal> | suite")
 	}
 	switch rest[0] {
 	case "list":
@@ -154,6 +172,18 @@ func runW(w io.Writer, args []string) error {
 		}
 		return merge(w, props, rest[1], rest[2:])
 
+	case "archive":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: perfeval archive <out%s> <src.jsonl|src%s>...", archivestore.Ext, archivestore.Ext)
+		}
+		return archiveCmd(w, props, rest[1], rest[2:])
+
+	case "inspect":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: perfeval inspect <file>... [-Dinspect.strict=true]")
+		}
+		return inspect(w, props, rest[1:])
+
 	case "diff":
 		if len(rest) != 3 {
 			return fmt.Errorf("usage: perfeval diff <baseline.jsonl> <current.jsonl>")
@@ -184,7 +214,7 @@ func runW(w io.Writer, args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, shard-plan, merge, diff, compact, or suite)", rest[0])
+		return fmt.Errorf("unknown command %q (want list, run, shard-plan, merge, archive, inspect, diff, compact, or suite)", rest[0])
 	}
 }
 
@@ -198,14 +228,31 @@ func installExecutor(w io.Writer, props *config.Properties) (restore func(), s *
 	journalDir := props.GetOr("journal.dir", "")
 	shardsSet := props.GetOr("sched.shards", "") != ""
 	shardSet := props.GetOr("sched.shard", "") != ""
+	storeKind := props.GetOr("store", "")
 	ctrl, ctrlBanner, err := buildController(props)
 	if err != nil {
 		return nil, nil, err
 	}
-	if !workersSet && journalDir == "" && ctrl == nil && !shardsSet && !shardSet {
+	if !workersSet && journalDir == "" && ctrl == nil && !shardsSet && !shardSet && storeKind == "" {
 		return func() {}, nil, nil
 	}
 	opts := sched.Options{JournalDir: journalDir}
+	if storeKind != "" && journalDir == "" {
+		return nil, nil, fmt.Errorf("store=%s requires -Djournal.dir (the directory the per-experiment store files live in)", storeKind)
+	}
+	switch storeKind {
+	case "", "journal":
+		// The JSONL journal is the default backend.
+	case "archive":
+		if shardsSet {
+			return nil, nil, fmt.Errorf("store=archive cannot combine with sched.shards: shard files are journals; archive the merged result instead")
+		}
+		opts.OpenStore = func(dir, experiment string) (runstore.Store, error) {
+			return archivestore.OpenDir(dir, experiment)
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown store backend %q (want journal or archive)", storeKind)
+	}
 	if shardSet && !shardsSet {
 		return nil, nil, fmt.Errorf("sched.shard needs sched.shards")
 	}
@@ -262,7 +309,11 @@ func installExecutor(w io.Writer, props *config.Properties) (restore func(), s *
 	s = sched.New(opts)
 	fmt.Fprintf(w, "scheduler: %d workers", opts.Workers)
 	if journalDir != "" {
-		fmt.Fprintf(w, ", journal %s", journalDir)
+		if opts.OpenStore != nil {
+			fmt.Fprintf(w, ", archive store %s", journalDir)
+		} else {
+			fmt.Fprintf(w, ", journal %s", journalDir)
+		}
 	}
 	if opts.Shards > 0 {
 		fmt.Fprintf(w, ", shard %d of %d", opts.Shard, opts.Shards)
@@ -382,6 +433,112 @@ func merge(w io.Writer, props *config.Properties, out string, srcs []string) err
 	fmt.Fprintln(w)
 	if strict && len(ms.Conflicts) > 0 {
 		return fmt.Errorf("%d conflicting record(s) across sources", len(ms.Conflicts))
+	}
+	return nil
+}
+
+// archiveCmd converts source journals (or merged shards, or archives)
+// into one finalized block-indexed archive, then verifies the artifact
+// by reopening it through its index and comparing every record against
+// the in-memory merge — a conversion that cannot be read back is worse
+// than no conversion, because archives are what long-lived baselines
+// live in. Cross-source conflicts are reported exactly as `perfeval
+// merge` reports them (and merge.strict=true fails the same way): a
+// divergent measurement masked inside a long-lived baseline is the most
+// expensive place to hide one.
+func archiveCmd(w io.Writer, props *config.Properties, out string, srcs []string) error {
+	if !strings.HasSuffix(out, archivestore.Ext) {
+		return fmt.Errorf("archive destination %q must end in %s", out, archivestore.Ext)
+	}
+	strict := false
+	if props.GetOr("merge.strict", "") != "" {
+		var err error
+		if strict, err = props.GetBool("merge.strict"); err != nil {
+			return err
+		}
+	}
+	recs, ms, err := runstore.MergeRecords(srcs)
+	if err != nil {
+		return err
+	}
+	for _, c := range ms.Conflicts {
+		fmt.Fprintf(w, "conflict: %s: %s overrides %s\n", c.Key, c.Later, c.Earlier)
+	}
+	if strict && len(ms.Conflicts) > 0 {
+		return fmt.Errorf("%d conflicting record(s) across sources; archive not written", len(ms.Conflicts))
+	}
+	if err := archivestore.Write(out, recs, srcs[0]); err != nil {
+		return err
+	}
+	a, err := archivestore.Open(out)
+	if err != nil {
+		return fmt.Errorf("verifying %s: %w", out, err)
+	}
+	defer a.Close()
+	if a.Torn() {
+		return fmt.Errorf("verifying %s: fresh archive reports a torn tail", out)
+	}
+	if a.Len() != len(recs) {
+		return fmt.Errorf("verifying %s: archive indexes %d record(s), merge produced %d", out, a.Len(), len(recs))
+	}
+	for _, want := range recs {
+		got, ok := a.Lookup(want.Experiment, want.Hash, want.Replicate)
+		if !ok {
+			return fmt.Errorf("verifying %s: record %s missing from archive index", out, want.Key())
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("verifying %s: record %s does not round-trip: %+v != %+v", out, want.Key(), got, want)
+		}
+	}
+	fmt.Fprintf(w, "archived %d source(s) into %s: %d record(s), dropped %d superseded, verified %d index lookup(s)",
+		ms.Sources, out, ms.Kept, ms.Superseded, len(recs))
+	if ms.TornSources > 0 {
+		fmt.Fprintf(w, ", torn tail dropped in %d source(s)", ms.TornSources)
+	}
+	if len(ms.Conflicts) > 0 {
+		fmt.Fprintf(w, ", %d conflict(s)", len(ms.Conflicts))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, a.Info().Detail)
+	return nil
+}
+
+// inspect prints the shape of store files — journals or archives — and
+// reports torn or truncated tails loudly instead of letting a damaged
+// artifact read as a small complete one. inspect.strict=true turns any
+// torn file into a non-zero exit for CI use.
+func inspect(w io.Writer, props *config.Properties, paths []string) error {
+	strict := false
+	if props.GetOr("inspect.strict", "") != "" {
+		var err error
+		if strict, err = props.GetBool("inspect.strict"); err != nil {
+			return err
+		}
+	}
+	tab := harness.NewTable().Header("file", "records", "distinct", "torn")
+	var details, torn []string
+	for _, p := range paths {
+		info, err := runstore.Inspect(p)
+		if err != nil {
+			return err
+		}
+		tab.Row(p, fmt.Sprintf("%d", info.Records), fmt.Sprintf("%d", info.Distinct), fmt.Sprintf("%v", info.Torn))
+		if info.Detail != "" {
+			details = append(details, p+": "+info.Detail)
+		}
+		if info.Torn {
+			torn = append(torn, p)
+		}
+	}
+	fmt.Fprint(w, tab.String())
+	for _, d := range details {
+		fmt.Fprintln(w, d)
+	}
+	for _, p := range torn {
+		fmt.Fprintf(w, "WARNING: %s has a torn or truncated tail — counts cover only the valid prefix; reopening for writing repairs by truncation\n", p)
+	}
+	if strict && len(torn) > 0 {
+		return fmt.Errorf("%d file(s) torn or truncated", len(torn))
 	}
 	return nil
 }

@@ -1,20 +1,3 @@
-// Package adaptive is the sequential-analysis replication controller:
-// it decides, cell by cell, when a measurement is precise enough to stop
-// replicating. The paper's discipline is that a mean is only meaningful
-// with a confidence interval tight enough to support the claim made of
-// it — this package turns that discipline into a scheduling policy. A
-// fixed rows x replicates budget over-measures stable cells and
-// under-measures noisy ones; the controller instead runs a minimum
-// number of replicates, then keeps replicating a cell only while the
-// relative half-width of its running confidence interval exceeds a
-// target, up to a hard maximum.
-//
-// Cells the regression gate flagged — or whose running interval drifts
-// off a stored baseline mid-run — are held to a tighter target and
-// scheduled ahead of the rest: spend the hardware where the doubt is.
-//
-// Controller implements sched.Controller; wire it in via
-// sched.Options.Controller.
 package adaptive
 
 import (

@@ -1,9 +1,3 @@
-// Package harness orchestrates complete experiments: a factor design, a
-// runner that produces response measurements for each factor-level
-// combination with replication, and analysis (confidence intervals,
-// factorial effects, allocation of variation) plus report rendering.
-// It is the executable form of the paper's methodology pipeline:
-// plan -> design -> run -> analyze -> present.
 package harness
 
 import (

@@ -1,0 +1,281 @@
+package archivestore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/runstore"
+)
+
+// On-disk layout constants. The normative specification lives in
+// docs/FORMAT.md; change either in lockstep with the other and with the
+// version byte baked into the magic strings.
+const (
+	// Magic is the 8-byte file header every archive starts with. The
+	// trailing '1' is the format version: an incompatible layout change
+	// bumps it, so old readers reject new files instead of misparsing
+	// them.
+	Magic = "PEVARCH1"
+	// TrailerMagic ends the fixed-size trailer of a finalized archive.
+	TrailerMagic = "PEA1"
+	// Ext is the file extension of archive files; runstore.Merge writes
+	// an archive when its destination carries it.
+	Ext = ".arch"
+
+	blockRecord = 1 // one length-prefixed record: key fields + JSON payload
+	blockIndex  = 2 // one index page: key -> block location entries
+	blockFooter = 3 // the footer: appended count + index page offsets
+
+	headerSize      = len(Magic)
+	blockHeaderSize = 1 + 4 + 4 // type, payload length, payload CRC
+	trailerSize     = 8 + 4 + 4 // footer offset, its CRC, TrailerMagic
+
+	// maxPayload bounds a block payload so a corrupt length field cannot
+	// drive a multi-gigabyte allocation during recovery scans.
+	maxPayload = 1 << 30
+
+	// DefaultIndexInterval is how many record blocks accumulate before an
+	// index page is interleaved into the data stream. Larger intervals
+	// mean fewer, bigger pages; recovery and open costs are unaffected
+	// (open reads every page either way, scans read every block).
+	DefaultIndexInterval = 1024
+)
+
+// castagnoli is the CRC-32C table every block checksum uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// entry locates one record block in the file.
+type entry struct {
+	off int64 // file offset of the block header
+	n   int32 // total block length, header included
+}
+
+// pendingEntry is an index entry not yet covered by an on-disk index
+// page: the key fields it will be written with, plus the location.
+type pendingEntry struct {
+	exp, hash string
+	rep       int
+	entry
+}
+
+// appendBlock frames a payload as a block: type byte, length, CRC-32C,
+// payload.
+func appendBlock(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [blockHeaderSize]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// parseBlock validates the block starting at data[off:] and returns its
+// type and payload. ok is false — with no error — when the bytes there do
+// not form a complete, checksummed block: the torn-tail signal recovery
+// scans truncate at. Unknown block types with a valid checksum are
+// returned as-is — per the docs/FORMAT.md versioning policy, scanners
+// skip them, so future auxiliary block types do not read as torn tails.
+func parseBlock(data []byte, off int64) (typ byte, payload []byte, ok bool) {
+	if off < 0 || int64(len(data))-off < int64(blockHeaderSize) {
+		return 0, nil, false
+	}
+	b := data[off:]
+	typ = b[0]
+	if typ == 0 { // a zeroed region is damage, not a block
+		return 0, nil, false
+	}
+	n := binary.LittleEndian.Uint32(b[1:5])
+	if n > maxPayload || int64(len(b)) < int64(blockHeaderSize)+int64(n) {
+		return 0, nil, false
+	}
+	payload = b[blockHeaderSize : blockHeaderSize+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[5:9]) {
+		return 0, nil, false
+	}
+	return typ, payload, true
+}
+
+// appendKeyFields serializes the (experiment, hash, replicate) key the
+// way record blocks and index entries share it.
+func appendKeyFields(dst []byte, exp, hash string, rep int) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint16(n[:2], uint16(len(exp)))
+	dst = append(dst, n[:2]...)
+	dst = append(dst, exp...)
+	binary.LittleEndian.PutUint16(n[:2], uint16(len(hash)))
+	dst = append(dst, n[:2]...)
+	dst = append(dst, hash...)
+	binary.LittleEndian.PutUint32(n[:4], uint32(rep))
+	return append(dst, n[:4]...)
+}
+
+// parseKeyFields decodes what appendKeyFields wrote and returns the rest
+// of the buffer.
+func parseKeyFields(b []byte) (exp, hash string, rep int, rest []byte, err error) {
+	readStr := func() (string, error) {
+		if len(b) < 2 {
+			return "", fmt.Errorf("archivestore: truncated key field")
+		}
+		n := int(binary.LittleEndian.Uint16(b[:2]))
+		b = b[2:]
+		if len(b) < n {
+			return "", fmt.Errorf("archivestore: truncated key field")
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, nil
+	}
+	if exp, err = readStr(); err != nil {
+		return
+	}
+	if hash, err = readStr(); err != nil {
+		return
+	}
+	if len(b) < 4 {
+		err = fmt.Errorf("archivestore: truncated key field")
+		return
+	}
+	rep = int(binary.LittleEndian.Uint32(b[:4]))
+	rest = b[4:]
+	return
+}
+
+// encodeRecordPayload builds a record block payload: key fields followed
+// by the record's JSON encoding (the same encoding a journal line uses,
+// so the two formats round-trip losslessly). Key fields carry u16 length
+// prefixes, so over-long names are rejected here rather than silently
+// wrapped into a corrupt encoding.
+func encodeRecordPayload(rec runstore.Record) ([]byte, error) {
+	if len(rec.Experiment) > math.MaxUint16 {
+		return nil, fmt.Errorf("archivestore: experiment name is %d bytes, max %d", len(rec.Experiment), math.MaxUint16)
+	}
+	if len(rec.Hash) > math.MaxUint16 {
+		return nil, fmt.Errorf("archivestore: assignment hash is %d bytes, max %d", len(rec.Hash), math.MaxUint16)
+	}
+	doc, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("archivestore: %w", err)
+	}
+	payload := appendKeyFields(nil, rec.Experiment, rec.Hash, rec.Replicate)
+	return append(payload, doc...), nil
+}
+
+// decodeRecordPayload parses a record block payload back into a Record.
+func decodeRecordPayload(payload []byte) (runstore.Record, error) {
+	_, _, _, doc, err := parseKeyFields(payload)
+	if err != nil {
+		return runstore.Record{}, err
+	}
+	var rec runstore.Record
+	if err := json.Unmarshal(doc, &rec); err != nil {
+		return runstore.Record{}, fmt.Errorf("archivestore: corrupt record payload: %w", err)
+	}
+	return rec, nil
+}
+
+// recordPayloadKey parses only the key fields of a record block payload —
+// what recovery scans and Inspect need, JSON parse avoided.
+func recordPayloadKey(payload []byte) (exp, hash string, rep int, err error) {
+	exp, hash, rep, _, err = parseKeyFields(payload)
+	return
+}
+
+// encodeIndexPayload builds an index page payload from pending entries.
+func encodeIndexPayload(pending []pendingEntry) []byte {
+	var n [8]byte
+	binary.LittleEndian.PutUint32(n[:4], uint32(len(pending)))
+	payload := append([]byte(nil), n[:4]...)
+	for _, p := range pending {
+		payload = appendKeyFields(payload, p.exp, p.hash, p.rep)
+		binary.LittleEndian.PutUint64(n[:8], uint64(p.off))
+		payload = append(payload, n[:8]...)
+		binary.LittleEndian.PutUint32(n[:4], uint32(p.n))
+		payload = append(payload, n[:4]...)
+	}
+	return payload
+}
+
+// decodeIndexPayload streams the entries of an index page payload to fn.
+func decodeIndexPayload(payload []byte, fn func(exp, hash string, rep int, e entry) error) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("archivestore: truncated index page")
+	}
+	count := int(binary.LittleEndian.Uint32(payload[:4]))
+	b := payload[4:]
+	for i := 0; i < count; i++ {
+		exp, hash, rep, rest, err := parseKeyFields(b)
+		if err != nil {
+			return err
+		}
+		if len(rest) < 12 {
+			return fmt.Errorf("archivestore: truncated index entry")
+		}
+		e := entry{
+			off: int64(binary.LittleEndian.Uint64(rest[:8])),
+			n:   int32(binary.LittleEndian.Uint32(rest[8:12])),
+		}
+		if err := fn(exp, hash, rep, e); err != nil {
+			return err
+		}
+		b = rest[12:]
+	}
+	return nil
+}
+
+// encodeFooterPayload builds the footer payload: total appended record
+// count plus the offset of every index page, in file order.
+func encodeFooterPayload(appended int, pages []int64) []byte {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:8], uint64(appended))
+	payload := append([]byte(nil), n[:8]...)
+	binary.LittleEndian.PutUint32(n[:4], uint32(len(pages)))
+	payload = append(payload, n[:4]...)
+	for _, p := range pages {
+		binary.LittleEndian.PutUint64(n[:8], uint64(p))
+		payload = append(payload, n[:8]...)
+	}
+	return payload
+}
+
+// decodeFooterPayload parses a footer payload.
+func decodeFooterPayload(payload []byte) (appended int, pages []int64, err error) {
+	if len(payload) < 12 {
+		return 0, nil, fmt.Errorf("archivestore: truncated footer")
+	}
+	appended = int(binary.LittleEndian.Uint64(payload[:8]))
+	count := int(binary.LittleEndian.Uint32(payload[8:12]))
+	b := payload[12:]
+	if len(b) != 8*count {
+		return 0, nil, fmt.Errorf("archivestore: footer page table length mismatch")
+	}
+	pages = make([]int64, count)
+	for i := range pages {
+		pages[i] = int64(binary.LittleEndian.Uint64(b[8*i : 8*i+8]))
+	}
+	return appended, pages, nil
+}
+
+// encodeTrailer builds the fixed-size trailer pointing at the footer
+// block.
+func encodeTrailer(footerOff int64) []byte {
+	t := make([]byte, trailerSize)
+	binary.LittleEndian.PutUint64(t[:8], uint64(footerOff))
+	binary.LittleEndian.PutUint32(t[8:12], crc32.Checksum(t[:8], castagnoli))
+	copy(t[12:], TrailerMagic)
+	return t
+}
+
+// decodeTrailer validates a 16-byte trailer and returns the footer
+// offset; ok is false for anything that is not a well-formed trailer.
+func decodeTrailer(t []byte) (footerOff int64, ok bool) {
+	if len(t) != trailerSize || string(t[12:]) != TrailerMagic {
+		return 0, false
+	}
+	if crc32.Checksum(t[:8], castagnoli) != binary.LittleEndian.Uint32(t[8:12]) {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(t[:8])), true
+}

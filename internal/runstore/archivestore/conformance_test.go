@@ -1,0 +1,40 @@
+package archivestore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runstore"
+	"repro/internal/runstore/archivestore"
+	"repro/internal/runstore/storetest"
+)
+
+// TestArchivestoreConformance runs the shared Store contract suite
+// against the block-indexed archive backend — the same assertions the
+// journal and the shard store pass, crash-recovery equivalence included.
+func TestArchivestoreConformance(t *testing.T) {
+	storetest.Run(t, storetest.Backend{
+		Name: "archivestore",
+		Open: func(t *testing.T, dir string) runstore.Store {
+			a, err := archivestore.OpenDir(dir, "e")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+		Tear: func(t *testing.T, dir string) {
+			// A crash mid-append leaves a half-written block; writing one
+			// after the finalized tail also invalidates the trailer, so
+			// the reopen takes the recovery-scan path.
+			f, err := os.OpenFile(filepath.Join(dir, "e"+archivestore.Ext), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.Write([]byte{1, 0xEF, 0xBE, 0xAD, 0xDE, 0x01}); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+}

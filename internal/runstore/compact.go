@@ -27,25 +27,51 @@ type CompactStats struct {
 // written to dst. Compaction is idempotent — compacting a compacted
 // journal is a byte-identical no-op. Compact preserves append order;
 // use Merge to rewrite a journal in canonical cross-writer order.
+//
+// Like Merge, Compact dispatches on format: a registered-format archive
+// source is loaded through its own reader (never misparsed as JSONL),
+// and a destination carrying a registered extension is written in that
+// format — so compacting an archive in place keeps it an archive.
 func Compact(src, dst string) (CompactStats, error) {
 	var cs CompactStats
-	data, err := os.ReadFile(src)
-	if err != nil {
-		return cs, fmt.Errorf("runstore: %w", err)
+	var recs []Record
+	srcFormat := formatOf(src)
+	if f := srcFormat; f != nil {
+		loaded, info, err := f.Load(src)
+		if err != nil {
+			return cs, err
+		}
+		recs = loaded
+		cs.Kept = len(recs)
+		cs.Dropped = info.Records - len(recs)
+		cs.Torn = info.Torn
+	} else {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return cs, fmt.Errorf("runstore: %w", err)
+		}
+		j := &Journal{path: src, recs: make(map[string]Record)}
+		if _, err := j.parse(data); err != nil {
+			return cs, fmt.Errorf("runstore: %s: %w", src, err)
+		}
+		recs = j.Records()
+		cs.Kept = len(recs)
+		cs.Dropped = j.appended - len(recs)
+		cs.Torn = j.torn
 	}
-	j := &Journal{path: src, recs: make(map[string]Record)}
-	if _, err := j.parse(data); err != nil {
-		return cs, fmt.Errorf("runstore: %s: %w", src, err)
-	}
-	recs := j.Records()
-	cs.Kept = len(recs)
-	cs.Dropped = j.appended - len(recs)
-	cs.Torn = j.torn
 
 	if dst == "" {
 		dst = src
 	}
-	if err := writeRecords(dst, recs, src); err != nil {
+	write := writeRecords
+	if f := formatForDst(dst); f != nil {
+		write = f.Write
+	} else if dst == src && srcFormat != nil {
+		// A renamed archive compacted in place stays an archive: the
+		// sniffed source format wins over the (absent) extension.
+		write = srcFormat.Write
+	}
+	if err := write(dst, recs, src); err != nil {
 		return cs, err
 	}
 	return cs, nil

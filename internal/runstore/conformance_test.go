@@ -1,0 +1,37 @@
+package runstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runstore"
+	"repro/internal/runstore/storetest"
+)
+
+// TestJournalConformance runs the shared Store contract suite against
+// the reference JSONL journal backend.
+func TestJournalConformance(t *testing.T) {
+	storetest.Run(t, storetest.Backend{
+		Name: "journal",
+		Open: func(t *testing.T, dir string) runstore.Store {
+			j, err := runstore.OpenDir(dir, "e")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return j
+		},
+		Tear: func(t *testing.T, dir string) {
+			// A crash mid-append leaves a torn (unterminated, unparsable)
+			// trailing line.
+			f, err := os.OpenFile(filepath.Join(dir, "e.jsonl"), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteString(`{"experiment":"e","row":`); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+}

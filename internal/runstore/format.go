@@ -1,0 +1,84 @@
+package runstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Format describes an alternative on-disk record-store format (the
+// block-indexed archive in internal/runstore/archivestore is the first)
+// so the journal-file tooling — Merge, LoadRecords, Inspect — transparently
+// reads and writes it. A backend registers its Format from an init
+// function; any program that imports the backend package can then merge
+// into, diff against, or inspect files of that format with no extra
+// plumbing. The JSONL journal itself is not a Format: it is the default
+// every path falls back to.
+type Format struct {
+	// Name identifies the format in messages ("archive").
+	Name string
+	// Ext is the file extension, with dot (".arch"). A Merge destination
+	// with this extension is written in the format.
+	Ext string
+	// Sniff reports whether a file starting with head (its first eight or
+	// fewer bytes) is in the format. Sources are dispatched by content,
+	// not extension, so renamed files keep working.
+	Sniff func(head []byte) bool
+	// Load reads every record from a file read-only — the file is never
+	// created, repaired, or truncated — together with its Info shape.
+	Load func(path string) ([]Record, Info, error)
+	// Write atomically replaces dst with the given canonical record set,
+	// copying the file mode from modeFrom when it exists (mirroring the
+	// journal's writeRecords).
+	Write func(dst string, recs []Record, modeFrom string) error
+	// Inspect reports the file's shape without loading record payloads.
+	Inspect func(path string) (Info, error)
+}
+
+// formats holds registered formats. Registration happens only from init
+// functions (which the runtime serializes), so reads need no lock.
+var formats []Format
+
+// RegisterFormat registers an alternative store format with the journal
+// tooling. Call it from the backend package's init function only; later
+// registration races with lookups.
+func RegisterFormat(f Format) {
+	if f.Name == "" || f.Ext == "" || f.Sniff == nil || f.Load == nil || f.Write == nil || f.Inspect == nil {
+		panic(fmt.Sprintf("runstore: RegisterFormat: incomplete format %+v", f))
+	}
+	formats = append(formats, f)
+}
+
+// formatOf sniffs the file at path and returns its registered format, or
+// nil for the default JSONL journal. A missing or unreadable file is nil
+// too: the caller's journal path produces the right error.
+func formatOf(path string) *Format {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	head := make([]byte, 8)
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return nil
+	}
+	for i := range formats {
+		if formats[i].Sniff(head[:n]) {
+			return &formats[i]
+		}
+	}
+	return nil
+}
+
+// formatForDst matches a destination path by extension: the file may not
+// exist yet, so content sniffing cannot apply.
+func formatForDst(path string) *Format {
+	for i := range formats {
+		if strings.HasSuffix(path, formats[i].Ext) {
+			return &formats[i]
+		}
+	}
+	return nil
+}

@@ -172,6 +172,8 @@ const (
 	Added
 )
 
+// String renders the verdict the way gate reports print it — regressions
+// shout, everything else stays lowercase.
 func (v Verdict) String() string {
 	switch v {
 	case Unchanged:

@@ -1,20 +1,3 @@
-// Package runstore persists experiment execution: an append-only JSONL
-// run journal keyed by (experiment, assignment-hash, replicate), a
-// baseline store, and a regression gate that compares a run against a
-// stored baseline via confidence intervals (internal/stats).
-//
-// The journal is the durability substrate of the concurrent scheduler
-// (internal/sched): every completed unit of work is appended before the
-// run proceeds, so a crashed or interrupted run resumes from disk instead
-// of re-executing — the paper's repeatability chapter applied to the
-// experiment harness itself.
-//
-// Journal format: one JSON object per line (JSONL). A record identifies
-// the experiment by name, the design row by a stable hash of its
-// factor-level assignment (so journals survive design-row reordering),
-// and the replicate index. A torn trailing line — the signature of a
-// crash mid-append — is truncated on open; complete records are never
-// rewritten.
 package runstore
 
 import (
@@ -27,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -42,9 +26,12 @@ type Record struct {
 	Responses  map[string]float64 `json:"responses"`
 }
 
-// Key returns the journal lookup key for a unit of work.
+// Key returns the journal lookup key for a unit of work. It is built by
+// concatenation, not fmt, because every record indexed on open pays this
+// cost — the archive backend's O(index) open budget is measured in
+// nanoseconds per entry.
 func Key(experiment, hash string, replicate int) string {
-	return fmt.Sprintf("%s/%s/%d", experiment, hash, replicate)
+	return experiment + "/" + hash + "/" + strconv.Itoa(replicate)
 }
 
 // Key returns the record's own lookup key.
@@ -55,7 +42,7 @@ func (r Record) Key() string { return Key(r.Experiment, r.Hash, r.Replicate) }
 // replication controller exchange, so one controller can serve several
 // experiments without state bleeding across them.
 func CellKey(experiment, hash string) string {
-	return fmt.Sprintf("%s/%s", experiment, hash)
+	return experiment + "/" + hash
 }
 
 // AssignmentHash computes a stable hex digest of a factor-level
@@ -252,23 +239,36 @@ func (j *Journal) Records() []Record {
 	return out
 }
 
-// Append validates, persists, and indexes one record. The JSON line is
-// written with a single Write call followed by Sync, so a crash leaves at
-// most one torn line — exactly what Open recovers from.
-func (j *Journal) Append(rec Record) error {
+// NormalizeAppend validates a record for appending and fills its derived
+// fields (an empty Hash is computed from the Assignment). Every Store
+// backend funnels Append through it, so the set of records a store
+// accepts — named experiment, non-negative replicate, finite responses —
+// is identical across the journal, the shard store, and the archive.
+func NormalizeAppend(rec Record) (Record, error) {
 	if rec.Experiment == "" {
-		return fmt.Errorf("runstore: record needs an experiment name")
+		return rec, fmt.Errorf("runstore: record needs an experiment name")
 	}
 	if rec.Replicate < 0 {
-		return fmt.Errorf("runstore: record replicate %d < 0", rec.Replicate)
+		return rec, fmt.Errorf("runstore: record replicate %d < 0", rec.Replicate)
 	}
 	if rec.Hash == "" {
 		rec.Hash = AssignmentHash(rec.Assignment)
 	}
 	for name, v := range rec.Responses {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("runstore: record response %q is non-finite (%v)", name, v)
+			return rec, fmt.Errorf("runstore: record response %q is non-finite (%v)", name, v)
 		}
+	}
+	return rec, nil
+}
+
+// Append validates, persists, and indexes one record. The JSON line is
+// written with a single Write call followed by Sync, so a crash leaves at
+// most one torn line — exactly what Open recovers from.
+func (j *Journal) Append(rec Record) error {
+	rec, err := NormalizeAppend(rec)
+	if err != nil {
+		return err
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -303,11 +303,16 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// LoadRecords reads every complete record from an existing journal file
-// without opening it for writing — the file is never created, repaired,
-// or otherwise touched, so diff/report tooling works on read-only
-// artifacts. A torn trailing line is ignored, as Open would truncate it.
+// LoadRecords reads every complete record from an existing journal (or
+// registered-format archive) file without opening it for writing — the
+// file is never created, repaired, or otherwise touched, so diff/report
+// tooling works on read-only artifacts. A torn trailing line is ignored,
+// as Open would truncate it.
 func LoadRecords(path string) ([]Record, error) {
+	if f := formatOf(path); f != nil {
+		recs, _, err := f.Load(path)
+		return recs, err
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("runstore: %w", err)

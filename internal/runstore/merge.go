@@ -46,32 +46,58 @@ type MergeStats struct {
 // is idempotent: merging a merged journal is a byte-identical no-op, and
 // Compact on a merged journal keeps every byte (a merge output already
 // holds exactly one record per key in a stable order).
+//
+// Sources and destination may also be registered-format archives
+// (internal/runstore/archivestore): sources are dispatched by content
+// sniffing, the destination by file extension, so journal→archive and
+// archive→journal conversions are merges like any other.
 func Merge(srcs []string, dst string) (MergeStats, error) {
+	if dst == "" {
+		return MergeStats{}, fmt.Errorf("runstore: merge needs a destination path")
+	}
+	recs, ms, err := MergeRecords(srcs)
+	if err != nil {
+		return ms, err
+	}
+	write := writeRecords
+	if f := formatForDst(dst); f != nil {
+		write = f.Write
+	}
+	if err := write(dst, recs, srcs[0]); err != nil {
+		return ms, err
+	}
+	return ms, nil
+}
+
+// MergeRecords is the in-memory half of Merge: it folds the sources into
+// one canonical last-wins record set without writing anything, so
+// converters (perfeval archive) can verify a written artifact against the
+// exact record set the merge produced.
+func MergeRecords(srcs []string) ([]Record, MergeStats, error) {
 	var ms MergeStats
 	if len(srcs) == 0 {
-		return ms, fmt.Errorf("runstore: merge needs at least one source journal")
-	}
-	if dst == "" {
-		return ms, fmt.Errorf("runstore: merge needs a destination path")
+		return nil, ms, fmt.Errorf("runstore: merge needs at least one source journal")
 	}
 	ms.Sources = len(srcs)
 	merged := make(map[string]Record)
 	from := make(map[string]string)
 	total := 0
 	for _, src := range srcs {
-		data, err := os.ReadFile(src)
+		srcRecs, info, err := loadSource(src)
 		if err != nil {
-			return ms, fmt.Errorf("runstore: %w", err)
+			return nil, ms, err
 		}
-		j := &Journal{path: src, recs: make(map[string]Record)}
-		if _, err := j.parse(data); err != nil {
-			return ms, fmt.Errorf("runstore: %s: %w", src, err)
-		}
-		if j.torn {
+		if info.Torn {
 			ms.TornSources++
 		}
-		total += j.appended
-		for _, rec := range j.Records() {
+		total += info.Records
+		for _, rec := range srcRecs {
+			// Canonicalize the key before folding: a hand-written record
+			// with no hash must dedupe against (and be stored as) the
+			// hash Append would have derived, in every destination format.
+			if rec.Hash == "" {
+				rec.Hash = AssignmentHash(rec.Assignment)
+			}
 			k := rec.Key()
 			if prev, seen := merged[k]; seen && !sameMeasurement(prev, rec) {
 				ms.Conflicts = append(ms.Conflicts, Conflict{Key: k, Earlier: from[k], Later: src})
@@ -87,10 +113,25 @@ func Merge(srcs []string, dst string) (MergeStats, error) {
 	sortCanonical(recs)
 	ms.Kept = len(recs)
 	ms.Superseded = total - len(recs)
-	if err := writeRecords(dst, recs, srcs[0]); err != nil {
-		return ms, err
+	return recs, ms, nil
+}
+
+// loadSource reads one merge source read-only: a registered-format
+// archive via its Load hook, anything else as a JSONL journal (torn
+// trailing lines dropped exactly as Open drops them).
+func loadSource(src string) ([]Record, Info, error) {
+	if f := formatOf(src); f != nil {
+		return f.Load(src)
 	}
-	return ms, nil
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return nil, Info{}, fmt.Errorf("runstore: %w", err)
+	}
+	j := &Journal{path: src, recs: make(map[string]Record)}
+	if _, err := j.parse(data); err != nil {
+		return nil, Info{}, fmt.Errorf("runstore: %s: %w", src, err)
+	}
+	return j.Records(), Info{Records: j.appended, Distinct: len(j.recs), Torn: j.torn}, nil
 }
 
 // sameMeasurement reports whether two records carry the same measurement:

@@ -1,0 +1,42 @@
+package shardstore_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/runstore"
+	"repro/internal/runstore/shardstore"
+	"repro/internal/runstore/storetest"
+)
+
+// TestShardstoreConformance runs the shared Store contract suite against
+// the sharded directory backend, opened in all-shards mode (the
+// single-process view; the OpenShard worker mode intentionally narrows
+// the contract and is covered by the package's own tests).
+func TestShardstoreConformance(t *testing.T) {
+	const shards = 3
+	storetest.Run(t, storetest.Backend{
+		Name: "shardstore",
+		Open: func(t *testing.T, dir string) runstore.Store {
+			s, err := shardstore.Open(dir, "e", shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		Tear: func(t *testing.T, dir string) {
+			// A crashed worker tears at most one shard file; tearing all
+			// of them is the worst case the merge step can meet.
+			for i := 0; i < shards; i++ {
+				f, err := os.OpenFile(shardstore.Path(dir, "e", i, shards), os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteString(`{"experiment":"e","resp`); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+		},
+	})
+}

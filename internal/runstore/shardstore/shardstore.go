@@ -1,19 +1,3 @@
-// Package shardstore is the sharded directory backend of the runstore
-// API: one experiment's journal split across N shard files in a
-// directory, with appends fanned out by assignment hash and reads serving
-// the union. It exists for scale-out execution — N worker processes (or
-// machines over a shared filesystem) each own one shard via OpenShard and
-// write disjoint files with no cross-process coordination, then
-// runstore.Merge folds the shards back into a single canonical journal.
-//
-// Shard routing is runstore.ShardIndex over the record's assignment
-// hash, the same function the scheduler uses to partition design rows,
-// so a worker that executes only shard k's rows appends only to shard
-// k's file. Each shard file is an ordinary runstore journal: torn-tail
-// crash recovery, last-wins indexing, and per-append durability all
-// behave exactly as in the single-file backend, and any tool that reads
-// journals (diff, compact, merge, Inspect) works on a shard file
-// unchanged.
 package shardstore
 
 import (

@@ -56,17 +56,23 @@ func ShardIndex(hash string, n int) int {
 	return int(h.Sum64() % uint64(n))
 }
 
-// Info summarizes one journal file without opening it for writing.
+// Info summarizes one store file without opening it for writing.
 type Info struct {
-	Records  int  // complete records in the file, including superseded ones
-	Distinct int  // distinct (experiment, hash, replicate) keys
-	Torn     bool // the file ends in a torn (crash-interrupted) line
+	Records  int    // complete records in the file, including superseded ones
+	Distinct int    // distinct (experiment, hash, replicate) keys
+	Torn     bool   // the file ends in a torn (crash-interrupted) tail
+	Detail   string // backend-specific shape, e.g. archive block/index stats
 }
 
-// Inspect reads a journal file read-only and reports its shape — the
-// status probe behind `perfeval shard-plan`. A torn trailing line is
-// reported, not repaired; a corrupt interior line is an error.
+// Inspect reads a journal (or registered-format archive) file read-only
+// and reports its shape — the status probe behind `perfeval inspect` and
+// `perfeval shard-plan`. A torn or truncated tail is detected and
+// reported via Info.Torn, never silently repaired or silently counted
+// past; a corrupt interior journal line is an error.
 func Inspect(path string) (Info, error) {
+	if f := formatOf(path); f != nil {
+		return f.Inspect(path)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Info{}, fmt.Errorf("runstore: %w", err)

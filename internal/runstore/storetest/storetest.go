@@ -1,0 +1,329 @@
+// Package storetest is the cross-backend conformance suite for the
+// runstore.Store contract. Every backend — the JSONL journal, the
+// sharded directory store, the block-indexed archive — runs the same
+// assertions through Run, so the scheduler's assumptions (last-wins
+// views, contiguous replicate counting, durable appends, crash-recovery
+// equivalence, concurrency safety) are enforced uniformly instead of
+// drifting per backend. A new backend earns its place behind
+// sched.Options.Store by passing this suite, nothing less.
+//
+// Concurrency: the suite itself spawns concurrent appenders and readers;
+// run it under -race (the repository's `make check` does).
+//
+// Durability: crash recovery is simulated through the Backend.Tear hook,
+// which damages the backend's files the way a kill mid-append would;
+// the suite then asserts a reopen serves exactly the records appended
+// before the crash.
+package storetest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/runstore"
+)
+
+// Backend adapts one Store implementation to the conformance suite.
+type Backend struct {
+	// Name labels the subtests ("journal", "shardstore", "archivestore").
+	Name string
+	// Open opens (creating on first call) the backend's store rooted at
+	// dir. Successive calls against the same dir must reopen the same
+	// persistent state — that is what the durability assertions exercise.
+	Open func(t *testing.T, dir string) runstore.Store
+	// Tear simulates a crash mid-append: with every store closed, damage
+	// the backend's file(s) under dir the way an interrupted append would
+	// (a torn half-written suffix). The suite then reopens and asserts
+	// nothing durable was lost.
+	Tear func(t *testing.T, dir string)
+}
+
+// mkRecord builds a deterministic test record. Distinct rows get
+// distinct assignments (and so hashes); the hash itself is left for the
+// store to derive, which is part of the contract.
+func mkRecord(exp string, row, rep int, val float64) runstore.Record {
+	return runstore.Record{
+		Experiment: exp,
+		Row:        row,
+		Replicate:  rep,
+		Assignment: map[string]string{"cell": fmt.Sprintf("c%03d", row)},
+		Responses:  map[string]float64{"t": val},
+	}
+}
+
+func hashOf(r runstore.Record) string { return runstore.AssignmentHash(r.Assignment) }
+
+// Run drives the full Store conformance suite against one backend.
+func Run(t *testing.T, b Backend) {
+	t.Run("EmptyStore", func(t *testing.T) {
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		if _, ok := s.Lookup("e", "deadbeef", 0); ok {
+			t.Fatal("empty store Lookup hit")
+		}
+		if n := s.ReplicateCount("e", "deadbeef"); n != 0 {
+			t.Fatalf("empty store ReplicateCount = %d", n)
+		}
+		if recs := s.Records(); len(recs) != 0 {
+			t.Fatalf("empty store Records has %d entries", len(recs))
+		}
+	})
+
+	t.Run("AppendLookupCount", func(t *testing.T) {
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		var want []runstore.Record
+		for row := 0; row < 3; row++ {
+			for rep := 0; rep < 2; rep++ {
+				r := mkRecord("e", row, rep, float64(row*10+rep))
+				if err := s.Append(r); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, r)
+			}
+		}
+		for _, w := range want {
+			got, ok := s.Lookup("e", hashOf(w), w.Replicate)
+			if !ok {
+				t.Fatalf("Lookup(%s/%d) missed", hashOf(w), w.Replicate)
+			}
+			if got.Responses["t"] != w.Responses["t"] {
+				t.Fatalf("Lookup = %v, want %v", got.Responses, w.Responses)
+			}
+			if got.Hash != hashOf(w) {
+				t.Fatalf("store did not derive Hash: %q", got.Hash)
+			}
+			if got.Assignment["cell"] != w.Assignment["cell"] {
+				t.Fatalf("assignment lost: %v", got.Assignment)
+			}
+		}
+		if n := s.ReplicateCount("e", hashOf(want[0])); n != 2 {
+			t.Fatalf("ReplicateCount = %d, want 2", n)
+		}
+	})
+
+	t.Run("LastWins", func(t *testing.T) {
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		if err := s.Append(mkRecord("e", 0, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		redo := mkRecord("e", 0, 0, 2)
+		if err := s.Append(redo); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.Lookup("e", hashOf(redo), 0)
+		if !ok || got.Responses["t"] != 2 {
+			t.Fatalf("Lookup = %v ok=%v, want the superseding record", got.Responses, ok)
+		}
+		distinct := 0
+		for _, r := range s.Records() {
+			if r.Experiment == "e" {
+				distinct++
+			}
+		}
+		if distinct != 1 {
+			t.Fatalf("Records holds %d copies, want 1 (last-wins)", distinct)
+		}
+	})
+
+	t.Run("ReplicateContiguity", func(t *testing.T) {
+		// A gap must stop the count: warm start extends a contiguous
+		// prefix, never fills holes.
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		for _, rep := range []int{0, 1, 3} {
+			if err := s.Append(mkRecord("e", 0, rep, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := s.ReplicateCount("e", hashOf(mkRecord("e", 0, 0, 1))); n != 2 {
+			t.Fatalf("ReplicateCount with a gap at 2 = %d, want 2", n)
+		}
+	})
+
+	t.Run("RecordsDeterministic", func(t *testing.T) {
+		dir := t.TempDir()
+		s := b.Open(t, dir)
+		for row := 0; row < 5; row++ {
+			if err := s.Append(mkRecord("e", row, 0, float64(row))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		first := keysOf(s.Records())
+		second := keysOf(s.Records())
+		if !equalKeys(first, second) {
+			t.Fatalf("Records not deterministic: %v vs %v", first, second)
+		}
+		s.Close()
+		r := b.Open(t, dir)
+		defer r.Close()
+		if got := keysOf(r.Records()); !equalKeys(first, got) {
+			t.Fatalf("Records changed across reopen: %v vs %v", first, got)
+		}
+	})
+
+	t.Run("RejectsInvalid", func(t *testing.T) {
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		if err := s.Append(runstore.Record{Replicate: 0}); err == nil {
+			t.Fatal("append without an experiment name succeeded")
+		}
+		neg := mkRecord("e", 0, 0, 1)
+		neg.Replicate = -1
+		if err := s.Append(neg); err == nil {
+			t.Fatal("append with a negative replicate succeeded")
+		}
+		nan := mkRecord("e", 0, 0, 1)
+		nan.Responses = map[string]float64{"t": math.NaN()}
+		if err := s.Append(nan); err == nil {
+			t.Fatal("append with a NaN response succeeded")
+		}
+		if len(s.Records()) != 0 {
+			t.Fatal("rejected appends left records behind")
+		}
+	})
+
+	t.Run("AppendAfterCloseFails", func(t *testing.T) {
+		s := b.Open(t, t.TempDir())
+		if err := s.Append(mkRecord("e", 0, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(mkRecord("e", 0, 1, 1)); err == nil {
+			t.Fatal("append after Close succeeded")
+		}
+	})
+
+	t.Run("ReopenDurability", func(t *testing.T) {
+		dir := t.TempDir()
+		s := b.Open(t, dir)
+		var want []runstore.Record
+		for row := 0; row < 4; row++ {
+			for rep := 0; rep < 2; rep++ {
+				r := mkRecord("e", row, rep, float64(row)+float64(rep)/10)
+				if err := s.Append(r); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, r)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r := b.Open(t, dir)
+		defer r.Close()
+		assertHolds(t, r, want, "reopen")
+	})
+
+	t.Run("ConcurrentAppendLookup", func(t *testing.T) {
+		// All methods must be safe for concurrent use; -race is the real
+		// assertion here.
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		const workers, reps = 4, 8
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for rep := 0; rep < reps; rep++ {
+					if err := s.Append(mkRecord("e", w, rep, float64(rep))); err != nil {
+						t.Error(err)
+						return
+					}
+					s.Lookup("e", hashOf(mkRecord("e", w, 0, 0)), rep)
+					s.ReplicateCount("e", hashOf(mkRecord("e", w, 0, 0)))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if len(s.Records()) != workers*reps {
+			t.Fatalf("Records holds %d, want %d", len(s.Records()), workers*reps)
+		}
+	})
+
+	t.Run("CrashRecoveryEquivalence", func(t *testing.T) {
+		if b.Tear == nil {
+			t.Skip("backend has no Tear hook")
+		}
+		dir := t.TempDir()
+		s := b.Open(t, dir)
+		var want []runstore.Record
+		for row := 0; row < 3; row++ {
+			for rep := 0; rep < 3; rep++ {
+				r := mkRecord("e", row, rep, float64(row*row)+float64(rep))
+				if err := s.Append(r); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, r)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b.Tear(t, dir)
+		r := b.Open(t, dir)
+		defer r.Close()
+		// Equivalence: the recovered view is exactly the pre-crash view —
+		// every durable append present, the torn suffix gone, and the
+		// store writable again.
+		assertHolds(t, r, want, "post-crash reopen")
+		if got := len(r.Records()); got != len(want) {
+			t.Fatalf("post-crash Records holds %d, want exactly %d", got, len(want))
+		}
+		if err := r.Append(mkRecord("e", 9, 0, 1)); err != nil {
+			t.Fatalf("append after crash recovery: %v", err)
+		}
+	})
+}
+
+// assertHolds checks that every record in want is served by Lookup and
+// counted by ReplicateCount.
+func assertHolds(t *testing.T, s runstore.Store, want []runstore.Record, stage string) {
+	t.Helper()
+	perCell := map[string]int{}
+	for _, w := range want {
+		got, ok := s.Lookup(w.Experiment, hashOf(w), w.Replicate)
+		if !ok {
+			t.Fatalf("%s: Lookup(%s/%d) missed", stage, hashOf(w), w.Replicate)
+		}
+		if got.Responses["t"] != w.Responses["t"] {
+			t.Fatalf("%s: Lookup = %v, want %v", stage, got.Responses, w.Responses)
+		}
+		cell := runstore.CellKey(w.Experiment, hashOf(w))
+		if w.Replicate+1 > perCell[cell] {
+			perCell[cell] = w.Replicate + 1
+		}
+	}
+	for _, w := range want {
+		cell := runstore.CellKey(w.Experiment, hashOf(w))
+		if n := s.ReplicateCount(w.Experiment, hashOf(w)); n != perCell[cell] {
+			t.Fatalf("%s: ReplicateCount = %d, want %d", stage, n, perCell[cell])
+		}
+	}
+}
+
+func keysOf(recs []runstore.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Key()
+	}
+	return out
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,34 @@
+// Package sched is the concurrent experiment executor: a worker pool
+// that runs design rows x replicates with bounded parallelism, per-unit
+// retry and timeout, deterministic result ordering, and warm-start from
+// a runstore store — units already persisted are replayed from disk
+// instead of re-executed.
+//
+// With Options.Controller set the fixed budget gives way to dynamic
+// work generation: the controller (internal/adaptive) grows each cell
+// batch by batch until its sequential-analysis stopping rule is met,
+// so replication is spent where variance demands it.
+//
+// The scheduler implements harness.Executor, so it plugs into the
+// package-level harness.Execute via harness.SetDefaultExecutor. It is an
+// opt-in: the sequential executor remains the default because concurrent
+// execution on one machine perturbs time measurements — use the
+// scheduler for simulation-backed or I/O-bound experiments, for
+// re-running large designs after a crash, and for analysis passes where
+// wall-clock throughput matters more than measurement isolation.
+//
+// Concurrency contract: a Scheduler is safe for use from multiple
+// goroutines; each Execute call runs its own worker pool, and workers
+// write disjoint result slots. A timed-out unit's goroutine is
+// abandoned, never joined — see Options.Timeout for the full
+// abandonment contract.
+//
+// Durability contract: the scheduler owns none itself; it delegates to
+// whatever runstore.Store it runs against (Options.Store, or a
+// per-experiment store opened from Options.JournalDir — the JSONL
+// journal by default, a shard of a sharded store under sharded
+// execution, or any backend via Options.OpenStore). Every completed
+// unit is appended — and therefore durable, per the Store contract —
+// before its result enters the ResultSet, so a crash never loses
+// completed work, only work in flight.
+package sched

@@ -1,21 +1,3 @@
-// Package sched is the concurrent experiment executor: a worker pool
-// that runs design rows x replicates with bounded parallelism, per-unit
-// retry and timeout, deterministic result ordering, and warm-start from
-// a runstore journal — units already journaled are replayed from disk
-// instead of re-executed.
-//
-// With Options.Controller set the fixed budget gives way to dynamic
-// work generation: the controller (internal/adaptive) grows each cell
-// batch by batch until its sequential-analysis stopping rule is met,
-// so replication is spent where variance demands it.
-//
-// The scheduler implements harness.Executor, so it plugs into the
-// package-level harness.Execute via harness.SetDefaultExecutor. It is an
-// opt-in: the sequential executor remains the default because concurrent
-// execution on one machine perturbs time measurements — use the
-// scheduler for simulation-backed or I/O-bound experiments, for
-// re-running large designs after a crash, and for analysis passes where
-// wall-clock throughput matters more than measurement isolation.
 package sched
 
 import (
@@ -69,6 +51,14 @@ type Options struct {
 	// call: a plain journal at <JournalDir>/<experiment>.jsonl, or — with
 	// Shards > 0 — this process's shard of a sharded directory store.
 	JournalDir string
+	// OpenStore, when set alongside JournalDir, replaces the default
+	// per-experiment journal with another Store backend (e.g.
+	// archivestore.OpenDir for block-indexed archives). The scheduler's
+	// execution semantics — warm-start replay, per-unit journaling,
+	// deterministic ResultSet assembly — are identical across backends;
+	// only the file behind them changes. Incompatible with sharded
+	// execution, whose shard files are journals by construction.
+	OpenStore func(dir, experiment string) (runstore.Store, error)
 	// Shards, when > 0, partitions the design's rows across Shards
 	// cooperating scheduler processes by assignment hash
 	// (runstore.ShardIndex): this scheduler executes only the rows owned
@@ -167,14 +157,19 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 			return nil, fmt.Errorf("sched: sharded execution requires a store (Options.Store or JournalDir); without one the merge step has nothing to collect")
 		case s.opts.Controller != nil:
 			return nil, fmt.Errorf("sched: sharded execution requires a fixed replication budget, not an adaptive Controller")
+		case s.opts.OpenStore != nil:
+			return nil, fmt.Errorf("sched: sharded execution uses journal shard files; it cannot combine with Options.OpenStore")
 		}
 	}
 	store := s.opts.Store
 	if store == nil && s.opts.JournalDir != "" {
 		var err error
-		if sharded {
+		switch {
+		case sharded:
 			store, err = shardstore.OpenShard(s.opts.JournalDir, e.Name, s.opts.Shard, s.opts.Shards)
-		} else {
+		case s.opts.OpenStore != nil:
+			store, err = s.opts.OpenStore(s.opts.JournalDir, e.Name)
+		default:
 			store, err = runstore.OpenDir(s.opts.JournalDir, e.Name)
 		}
 		if err != nil {
