@@ -3,9 +3,21 @@ GO ?= go
 # The default target is what CI runs on every PR: vet plus the full test
 # suite under the race detector, so the concurrent scheduler
 # (internal/sched) and the journal (internal/runstore) are race-checked
-# on every change.
+# on every change, plus the public-API compatibility gate.
 .PHONY: check
-check: vet race
+check: vet race apicheck
+
+# API-compatibility gate: the exported surface of the public repro
+# package must match api/repro.txt. Intentional API changes regenerate
+# the golden file with `make apicheck-update` — an explicit, reviewable
+# diff instead of silent drift.
+.PHONY: apicheck
+apicheck:
+	$(GO) run ./tools/apicheck
+
+.PHONY: apicheck-update
+apicheck-update:
+	$(GO) run ./tools/apicheck -update
 
 .PHONY: build
 build:

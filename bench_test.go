@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -30,7 +31,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	var last *Result
 	for i := 0; i < b.N; i++ {
-		r, err := RunExperiment(id)
+		r, err := RunExperiment(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -266,7 +267,7 @@ func BenchmarkAdaptiveVsFixed(b *testing.B) {
 		var units int
 		for i := 0; i < b.N; i++ {
 			s := sched.New(sched.Options{Workers: 4})
-			if _, err := s.Execute(experiment()); err != nil {
+			if _, err := s.Execute(context.Background(), experiment()); err != nil {
 				b.Fatal(err)
 			}
 			units = s.LastStats().Units
@@ -281,7 +282,7 @@ func BenchmarkAdaptiveVsFixed(b *testing.B) {
 				b.Fatal(err)
 			}
 			s := sched.New(sched.Options{Workers: 4, Controller: ctrl})
-			if _, err := s.Execute(experiment()); err != nil {
+			if _, err := s.Execute(context.Background(), experiment()); err != nil {
 				b.Fatal(err)
 			}
 			st = s.LastStats()

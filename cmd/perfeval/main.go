@@ -13,6 +13,12 @@
 //	perfeval compact <journal.jsonl> [-Dcompact.out=PATH]
 //	perfeval suite
 //
+// The command is a thin flag-parsing layer over the public repro
+// package: every -D property maps onto a repro.RunConfig field or a
+// repro function argument, so anything the CLI can do, a library caller
+// can do identically — and the two cannot drift (tools/apicheck guards
+// the API surface `make check` builds against).
+//
 // run prints the artifact to stdout; with -Dout.dir=DIR it also writes
 // res/<id>.txt under DIR (creating directories as needed). With
 // -Dsched.workers=N and/or -Djournal.dir=DIR the harness executes
@@ -20,7 +26,8 @@
 // parallel on N workers, completed units are journaled under DIR, and a
 // re-run warm-starts from the journal, skipping completed rows.
 // -Dsched.retries=N and -Dsched.timeout=DUR tune per-unit retry and
-// timeout.
+// timeout. An interrupted run (Ctrl-C, SIGTERM) drains its in-flight
+// units, leaves the journal valid, and resumes from it on the next run.
 //
 // Adaptive replication (internal/adaptive) replaces the fixed
 // rows x replicates budget with CI-targeted sequential analysis:
@@ -59,10 +66,10 @@
 // tail into a non-zero exit). diff and merge read archives wherever they
 // read journals.
 //
-// diff loads two run journals, aggregates them per (assignment,
-// response), and applies the regression gate (internal/runstore):
-// confidence intervals that have shifted versus the baseline are flagged
-// and the command exits non-zero — a CI guard for performance work.
+// diff loads two run stores, aggregates them per (assignment,
+// response), and applies the regression gate: confidence intervals that
+// have shifted versus the baseline are flagged and the command exits
+// non-zero — a CI guard for performance work.
 //
 // compact rewrites a journal keeping only the last record of every
 // (experiment, assignment, replicate) key — the retention tool for
@@ -74,26 +81,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"reflect"
-	"runtime"
 	"sort"
-	"strings"
+	"syscall"
 
-	"repro/internal/adaptive"
+	"repro"
 	"repro/internal/config"
-	"repro/internal/harness"
-	"repro/internal/paperexp"
-	"repro/internal/runstore"
-	"repro/internal/runstore/archivestore"
-	"repro/internal/sched"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancel the run context: the scheduler drains its
+	// workers and leaves every store valid and warm-startable. The
+	// registration is released on the first signal (AfterFunc), so a
+	// second signal kills the process the default way instead of being
+	// swallowed while a long unit drains.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "perfeval:", err)
 		os.Exit(1)
 	}
@@ -101,7 +111,11 @@ func main() {
 
 func run(args []string) error { return runW(os.Stdout, args) }
 
-func runW(w io.Writer, args []string) error {
+func runW(w io.Writer, args []string) error { return runCtxW(context.Background(), w, args) }
+
+func runCtx(ctx context.Context, args []string) error { return runCtxW(ctx, os.Stdout, args) }
+
+func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 	props := config.New(nil)
 	rest, err := props.ApplyArgs(args)
 	if err != nil {
@@ -112,7 +126,7 @@ func runW(w io.Writer, args []string) error {
 	}
 	switch rest[0] {
 	case "list":
-		for _, e := range paperexp.Registry() {
+		for _, e := range repro.Experiments() {
 			fmt.Fprintf(w, "%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
@@ -121,44 +135,7 @@ func runW(w io.Writer, args []string) error {
 		if len(rest) < 2 {
 			return fmt.Errorf("usage: perfeval run <id>|all")
 		}
-		restore, scheduler, err := installExecutor(w, props)
-		if err != nil {
-			return err
-		}
-		defer restore()
-		outDir := props.GetOr("out.dir", "")
-		ids := rest[1:]
-		if rest[1] == "all" {
-			// Run ids one by one (rather than paperexp.RunAll) so the
-			// adaptive budget report can print per experiment.
-			ids = nil
-			for _, e := range paperexp.Registry() {
-				ids = append(ids, e.ID)
-			}
-		}
-		for _, id := range ids {
-			r, err := paperexp.Run(id)
-			if err != nil {
-				return fmt.Errorf("%s: %w", id, err)
-			}
-			fmt.Fprintf(w, "=== %s (slides %s): %s ===\n\n%s\n", r.ID, r.Slides, r.Title, r.Text)
-			if r.Notes != "" {
-				fmt.Fprintf(w, "notes: %s\n\n", r.Notes)
-			}
-			budgetReport(w, scheduler)
-			if outDir != "" {
-				dir := filepath.Join(outDir, "res")
-				if err := os.MkdirAll(dir, 0o755); err != nil {
-					return err
-				}
-				path := filepath.Join(dir, r.ID+".txt")
-				if err := os.WriteFile(path, []byte(r.Text), 0o644); err != nil {
-					return err
-				}
-				fmt.Fprintf(w, "wrote %s\n\n", path)
-			}
-		}
-		return nil
+		return runExperiments(ctx, w, props, rest[1:])
 
 	case "shard-plan":
 		if len(rest) != 2 {
@@ -174,7 +151,7 @@ func runW(w io.Writer, args []string) error {
 
 	case "archive":
 		if len(rest) < 3 {
-			return fmt.Errorf("usage: perfeval archive <out%s> <src.jsonl|src%s>...", archivestore.Ext, archivestore.Ext)
+			return fmt.Errorf("usage: perfeval archive <out%s> <src.jsonl|src%s>...", repro.ArchiveExt, repro.ArchiveExt)
 		}
 		return archiveCmd(w, props, rest[1], rest[2:])
 
@@ -195,7 +172,7 @@ func runW(w io.Writer, args []string) error {
 			return fmt.Errorf("usage: perfeval compact <journal.jsonl>")
 		}
 		out := props.GetOr("compact.out", "")
-		cs, err := runstore.Compact(rest[1], out)
+		cs, err := repro.Compact(rest[1], out)
 		if err != nil {
 			return err
 		}
@@ -210,7 +187,7 @@ func runW(w io.Writer, args []string) error {
 		return nil
 
 	case "suite":
-		fmt.Fprint(w, paperexp.PaperSuite().Instructions())
+		fmt.Fprint(w, repro.SuiteInstructions())
 		return nil
 
 	default:
@@ -218,207 +195,179 @@ func runW(w io.Writer, args []string) error {
 	}
 }
 
-// installExecutor swaps in the concurrent scheduler when sched.*,
-// journal.*, or adaptive.* properties ask for it, returning a restore
-// function and the installed scheduler (nil when sequential). With none
-// of those properties set it is a no-op: the sequential executor stays,
+// runExperiments is the run subcommand: flags become a repro.RunConfig,
+// each experiment runs through repro.Run, and artifacts plus budget
+// reports print in paper order.
+func runExperiments(ctx context.Context, w io.Writer, props *config.Properties, ids []string) error {
+	cfg, err := buildRunConfig(props)
+	if err != nil {
+		return err
+	}
+	if banner := cfg.Describe(); banner != "" {
+		fmt.Fprintln(w, banner)
+	}
+	outDir := props.GetOr("out.dir", "")
+	if ids[0] == "all" {
+		// Run ids one by one (rather than repro.RunAll) so artifacts and
+		// budget reports stream out as each experiment finishes.
+		ids = nil
+		for _, e := range repro.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		out, err := repro.Run(ctx, id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		r := out.Result
+		fmt.Fprintf(w, "=== %s (slides %s): %s ===\n\n%s\n", r.ID, r.Slides, r.Title, r.Text)
+		if r.Notes != "" {
+			fmt.Fprintf(w, "notes: %s\n\n", r.Notes)
+		}
+		if out.Budget != nil {
+			fmt.Fprintf(w, "%s\n", out.Budget)
+		}
+		if outDir != "" {
+			dir := filepath.Join(outDir, "res")
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(dir, r.ID+".txt")
+			if err := os.WriteFile(path, []byte(r.Text), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+// buildRunConfig maps the sched.*, journal.*, store, and adaptive.*
+// properties onto a repro.RunConfig, validating flag combinations at
+// the CLI boundary (a dropped flag in a worker script must fail loudly,
+// not silently produce an incomplete dataset). With none of those
+// properties set it returns the zero config: the sequential executor,
 // keeping measurements unperturbed by concurrency.
-func installExecutor(w io.Writer, props *config.Properties) (restore func(), s *sched.Scheduler, err error) {
+func buildRunConfig(props *config.Properties) (repro.RunConfig, error) {
+	var cfg repro.RunConfig
+	var err error
 	workersSet := props.GetOr("sched.workers", "") != ""
 	journalDir := props.GetOr("journal.dir", "")
 	shardsSet := props.GetOr("sched.shards", "") != ""
 	shardSet := props.GetOr("sched.shard", "") != ""
 	storeKind := props.GetOr("store", "")
-	ctrl, ctrlBanner, err := buildController(props)
+	adaptiveCfg, err := buildAdaptive(props)
 	if err != nil {
-		return nil, nil, err
+		return cfg, err
 	}
-	if !workersSet && journalDir == "" && ctrl == nil && !shardsSet && !shardSet && storeKind == "" {
-		return func() {}, nil, nil
+	if !workersSet && journalDir == "" && adaptiveCfg == nil && !shardsSet && !shardSet && storeKind == "" {
+		return cfg, nil
 	}
-	opts := sched.Options{JournalDir: journalDir}
+	cfg.JournalDir = journalDir
+	cfg.Adaptive = adaptiveCfg
 	if storeKind != "" && journalDir == "" {
-		return nil, nil, fmt.Errorf("store=%s requires -Djournal.dir (the directory the per-experiment store files live in)", storeKind)
+		return cfg, fmt.Errorf("store=%s requires -Djournal.dir (the directory the per-experiment store files live in)", storeKind)
 	}
 	switch storeKind {
 	case "", "journal":
 		// The JSONL journal is the default backend.
 	case "archive":
 		if shardsSet {
-			return nil, nil, fmt.Errorf("store=archive cannot combine with sched.shards: shard files are journals; archive the merged result instead")
+			return cfg, fmt.Errorf("store=archive cannot combine with sched.shards: shard files are journals; archive the merged result instead")
 		}
-		opts.OpenStore = func(dir, experiment string) (runstore.Store, error) {
-			return archivestore.OpenDir(dir, experiment)
-		}
+		cfg.Store = repro.StoreArchive
 	default:
-		return nil, nil, fmt.Errorf("unknown store backend %q (want journal or archive)", storeKind)
+		return cfg, fmt.Errorf("unknown store backend %q (want journal or archive)", storeKind)
 	}
 	if shardSet && !shardsSet {
-		return nil, nil, fmt.Errorf("sched.shard needs sched.shards")
+		return cfg, fmt.Errorf("sched.shard needs sched.shards")
 	}
 	if shardsSet {
-		if opts.Shards, err = props.GetInt("sched.shards"); err != nil {
-			return nil, nil, err
+		if cfg.Shards, err = props.GetInt("sched.shards"); err != nil {
+			return cfg, err
 		}
-		if opts.Shards < 1 {
-			return nil, nil, fmt.Errorf("sched.shards = %d, need >= 1", opts.Shards)
+		if cfg.Shards < 1 {
+			return cfg, fmt.Errorf("sched.shards = %d, need >= 1", cfg.Shards)
 		}
 		if journalDir == "" {
-			return nil, nil, fmt.Errorf("sched.shards requires -Djournal.dir (shard files are the run's only output)")
+			return cfg, fmt.Errorf("sched.shards requires -Djournal.dir (shard files are the run's only output)")
 		}
-		if !shardSet && opts.Shards > 1 {
+		if !shardSet && cfg.Shards > 1 {
 			// Defaulting to shard 0 would silently execute a fraction of
 			// the design and exit 0 — a dropped flag in a worker script
 			// must fail loudly, not produce an incomplete dataset.
-			return nil, nil, fmt.Errorf("sched.shards = %d needs an explicit -Dsched.shard=K (0..%d)", opts.Shards, opts.Shards-1)
+			return cfg, fmt.Errorf("sched.shards = %d needs an explicit -Dsched.shard=K (0..%d)", cfg.Shards, cfg.Shards-1)
 		}
 		if shardSet {
-			if opts.Shard, err = props.GetInt("sched.shard"); err != nil {
-				return nil, nil, err
+			if cfg.Shard, err = props.GetInt("sched.shard"); err != nil {
+				return cfg, err
 			}
 		}
-		if opts.Shard < 0 || opts.Shard >= opts.Shards {
-			return nil, nil, fmt.Errorf("sched.shard = %d out of range [0,%d)", opts.Shard, opts.Shards)
+		if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+			return cfg, fmt.Errorf("sched.shard = %d out of range [0,%d)", cfg.Shard, cfg.Shards)
 		}
-	}
-	if ctrl != nil { // assigning a nil *Controller would make the interface non-nil
-		opts.Controller = ctrl
 	}
 	if workersSet {
-		if opts.Workers, err = props.GetInt("sched.workers"); err != nil {
-			return nil, nil, err
+		if cfg.Workers, err = props.GetInt("sched.workers"); err != nil {
+			return cfg, err
 		}
-		if opts.Workers < 1 {
-			return nil, nil, fmt.Errorf("sched.workers = %d, need >= 1", opts.Workers)
+		if cfg.Workers < 1 {
+			return cfg, fmt.Errorf("sched.workers = %d, need >= 1", cfg.Workers)
 		}
-	} else {
-		// Resolve the scheduler's GOMAXPROCS default here so the banner
-		// reports the worker count that actually runs.
-		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if props.GetOr("sched.retries", "") != "" {
-		if opts.Retries, err = props.GetInt("sched.retries"); err != nil {
-			return nil, nil, err
+		if cfg.Retries, err = props.GetInt("sched.retries"); err != nil {
+			return cfg, err
 		}
 	}
 	if props.GetOr("sched.timeout", "") != "" {
-		if opts.Timeout, err = props.GetDuration("sched.timeout"); err != nil {
-			return nil, nil, err
+		if cfg.Timeout, err = props.GetDuration("sched.timeout"); err != nil {
+			return cfg, err
 		}
 	}
-	s = sched.New(opts)
-	fmt.Fprintf(w, "scheduler: %d workers", opts.Workers)
-	if journalDir != "" {
-		if opts.OpenStore != nil {
-			fmt.Fprintf(w, ", archive store %s", journalDir)
-		} else {
-			fmt.Fprintf(w, ", journal %s", journalDir)
-		}
-	}
-	if opts.Shards > 0 {
-		fmt.Fprintf(w, ", shard %d of %d", opts.Shard, opts.Shards)
-	}
-	if ctrlBanner != "" {
-		fmt.Fprintf(w, ", %s", ctrlBanner)
-	}
-	fmt.Fprintln(w)
-	prev := harness.SetDefaultExecutor(s)
-	return func() { harness.SetDefaultExecutor(prev) }, s, nil
+	return cfg, nil
 }
 
-// buildController assembles the adaptive replication controller when any
-// adaptive.* property is set. adaptive.prioritize names a baseline
-// journal; its per-experiment summaries arm mid-run drift flagging and
-// gate-first scheduling.
-func buildController(props *config.Properties) (*adaptive.Controller, string, error) {
+// buildAdaptive maps the adaptive.* properties onto an AdaptiveConfig,
+// nil when none is set.
+func buildAdaptive(props *config.Properties) (*repro.AdaptiveConfig, error) {
 	relSet := props.GetOr("adaptive.rel", "") != ""
 	minSet := props.GetOr("adaptive.min", "") != ""
 	maxSet := props.GetOr("adaptive.max", "") != ""
 	prioritize := props.GetOr("adaptive.prioritize", "")
 	if !relSet && !minSet && !maxSet && prioritize == "" {
-		return nil, "", nil
+		return nil, nil
 	}
-	var opts adaptive.Options
+	a := &repro.AdaptiveConfig{Baseline: prioritize}
 	var err error
 	if relSet {
-		if opts.Rel, err = props.GetFloat("adaptive.rel"); err != nil {
-			return nil, "", err
+		if a.Rel, err = props.GetFloat("adaptive.rel"); err != nil {
+			return nil, err
 		}
 	}
 	if minSet {
-		if opts.Min, err = props.GetInt("adaptive.min"); err != nil {
-			return nil, "", err
+		if a.Min, err = props.GetInt("adaptive.min"); err != nil {
+			return nil, err
 		}
 	}
 	if maxSet {
-		if opts.Max, err = props.GetInt("adaptive.max"); err != nil {
-			return nil, "", err
+		if a.Max, err = props.GetInt("adaptive.max"); err != nil {
+			return nil, err
 		}
 	}
-	ctrl, err := adaptive.New(opts)
-	if err != nil {
-		return nil, "", err
-	}
-	if prioritize != "" {
-		recs, err := runstore.LoadRecords(prioritize)
-		if err != nil {
-			return nil, "", fmt.Errorf("adaptive.prioritize: %w", err)
-		}
-		for _, s := range runstore.Summarize(recs) {
-			if err := ctrl.AddBaseline(s); err != nil {
-				return nil, "", fmt.Errorf("adaptive.prioritize: %w", err)
-			}
-		}
-	}
-	banner := fmt.Sprintf("adaptive rel=%s min=%s max=%s",
-		props.GetOr("adaptive.rel", fmt.Sprintf("%g", adaptive.DefaultRel)),
-		props.GetOr("adaptive.min", fmt.Sprintf("%d", adaptive.DefaultMin)),
-		props.GetOr("adaptive.max", fmt.Sprintf("%d", adaptive.DefaultMax)))
-	if prioritize != "" {
-		banner += " prioritize=" + prioritize
-	}
-	return ctrl, banner, nil
-}
-
-// budgetReport prints what the last adaptive run spent per cell against
-// the fixed rows x replicates budget it replaced, consuming the stats so
-// an experiment that runs nothing through the harness cannot reprint its
-// predecessor's report. A nil or fixed-budget scheduler prints nothing.
-func budgetReport(w io.Writer, s *sched.Scheduler) {
-	if s == nil {
-		return
-	}
-	cells := s.TakeCellStats()
-	if len(cells) == 0 {
-		return
-	}
-	st := s.LastStats()
-	fixedPerCell := st.FixedBudget / len(cells)
-	tab := harness.NewTable().Header("run", "assignment", "reps", "fixed", "note")
-	for _, c := range cells {
-		tab.Row(fmt.Sprintf("%d", c.Row+1), c.Assignment.String(),
-			fmt.Sprintf("%d", c.Spent()), fmt.Sprintf("%d", fixedPerCell), c.Note)
-	}
-	fmt.Fprintf(w, "adaptive budget report: %d replicates spent (%d live, %d replayed) vs fixed budget %d",
-		st.Units, st.Executed, st.Replayed, st.FixedBudget)
-	if st.FixedBudget > 0 {
-		fmt.Fprintf(w, " (%.1f%% saved)", (1-float64(st.Units)/float64(st.FixedBudget))*100)
-	}
-	fmt.Fprintf(w, "\n%s\n", tab.String())
+	return a, nil
 }
 
 // merge folds shard journals into one canonical journal and reports
 // cross-source conflicts; with merge.strict=true conflicts fail the
 // command after the (last-wins) merge has still been written.
 func merge(w io.Writer, props *config.Properties, out string, srcs []string) error {
-	strict := false
-	if props.GetOr("merge.strict", "") != "" {
-		var err error
-		if strict, err = props.GetBool("merge.strict"); err != nil {
-			return err
-		}
+	strict, err := strictFlag(props, "merge.strict")
+	if err != nil {
+		return err
 	}
-	ms, err := runstore.Merge(srcs, out)
+	ms, err := repro.Merge(out, srcs...)
 	if err != nil {
 		return err
 	}
@@ -438,69 +387,41 @@ func merge(w io.Writer, props *config.Properties, out string, srcs []string) err
 }
 
 // archiveCmd converts source journals (or merged shards, or archives)
-// into one finalized block-indexed archive, then verifies the artifact
-// by reopening it through its index and comparing every record against
-// the in-memory merge — a conversion that cannot be read back is worse
-// than no conversion, because archives are what long-lived baselines
-// live in. Cross-source conflicts are reported exactly as `perfeval
-// merge` reports them (and merge.strict=true fails the same way): a
-// divergent measurement masked inside a long-lived baseline is the most
-// expensive place to hide one.
+// into one finalized, read-back-verified block-indexed archive via
+// repro.Convert. Cross-source conflicts are reported exactly as
+// `perfeval merge` reports them; with merge.strict=true they abort the
+// conversion before anything is written.
 func archiveCmd(w io.Writer, props *config.Properties, out string, srcs []string) error {
-	if !strings.HasSuffix(out, archivestore.Ext) {
-		return fmt.Errorf("archive destination %q must end in %s", out, archivestore.Ext)
-	}
-	strict := false
-	if props.GetOr("merge.strict", "") != "" {
-		var err error
-		if strict, err = props.GetBool("merge.strict"); err != nil {
-			return err
-		}
-	}
-	recs, ms, err := runstore.MergeRecords(srcs)
+	strict, err := strictFlag(props, "merge.strict")
 	if err != nil {
 		return err
 	}
-	for _, c := range ms.Conflicts {
+	cs, err := repro.Convert(out, srcs, strict)
+	for _, c := range cs.Conflicts {
 		fmt.Fprintf(w, "conflict: %s: %s overrides %s\n", c.Key, c.Later, c.Earlier)
 	}
-	if strict && len(ms.Conflicts) > 0 {
-		return fmt.Errorf("%d conflicting record(s) across sources; archive not written", len(ms.Conflicts))
-	}
-	if err := archivestore.Write(out, recs, srcs[0]); err != nil {
+	if err != nil {
 		return err
 	}
-	a, err := archivestore.Open(out)
-	if err != nil {
-		return fmt.Errorf("verifying %s: %w", out, err)
-	}
-	defer a.Close()
-	if a.Torn() {
-		return fmt.Errorf("verifying %s: fresh archive reports a torn tail", out)
-	}
-	if a.Len() != len(recs) {
-		return fmt.Errorf("verifying %s: archive indexes %d record(s), merge produced %d", out, a.Len(), len(recs))
-	}
-	for _, want := range recs {
-		got, ok := a.Lookup(want.Experiment, want.Hash, want.Replicate)
-		if !ok {
-			return fmt.Errorf("verifying %s: record %s missing from archive index", out, want.Key())
-		}
-		if !reflect.DeepEqual(got, want) {
-			return fmt.Errorf("verifying %s: record %s does not round-trip: %+v != %+v", out, want.Key(), got, want)
-		}
-	}
 	fmt.Fprintf(w, "archived %d source(s) into %s: %d record(s), dropped %d superseded, verified %d index lookup(s)",
-		ms.Sources, out, ms.Kept, ms.Superseded, len(recs))
-	if ms.TornSources > 0 {
-		fmt.Fprintf(w, ", torn tail dropped in %d source(s)", ms.TornSources)
+		cs.Sources, out, cs.Kept, cs.Superseded, cs.Verified)
+	if cs.TornSources > 0 {
+		fmt.Fprintf(w, ", torn tail dropped in %d source(s)", cs.TornSources)
 	}
-	if len(ms.Conflicts) > 0 {
-		fmt.Fprintf(w, ", %d conflict(s)", len(ms.Conflicts))
+	if len(cs.Conflicts) > 0 {
+		fmt.Fprintf(w, ", %d conflict(s)", len(cs.Conflicts))
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, a.Info().Detail)
+	fmt.Fprintln(w, cs.Detail)
 	return nil
+}
+
+// strictFlag parses one boolean -D property, defaulting to false.
+func strictFlag(props *config.Properties, key string) (bool, error) {
+	if props.GetOr(key, "") == "" {
+		return false, nil
+	}
+	return props.GetBool(key)
 }
 
 // inspect prints the shape of store files — journals or archives — and
@@ -508,17 +429,14 @@ func archiveCmd(w io.Writer, props *config.Properties, out string, srcs []string
 // artifact read as a small complete one. inspect.strict=true turns any
 // torn file into a non-zero exit for CI use.
 func inspect(w io.Writer, props *config.Properties, paths []string) error {
-	strict := false
-	if props.GetOr("inspect.strict", "") != "" {
-		var err error
-		if strict, err = props.GetBool("inspect.strict"); err != nil {
-			return err
-		}
+	strict, err := strictFlag(props, "inspect.strict")
+	if err != nil {
+		return err
 	}
-	tab := harness.NewTable().Header("file", "records", "distinct", "torn")
+	tab := repro.NewTable().Header("file", "records", "distinct", "torn")
 	var details, torn []string
 	for _, p := range paths {
-		info, err := runstore.Inspect(p)
+		info, err := repro.Inspect(p)
 		if err != nil {
 			return err
 		}
@@ -557,7 +475,7 @@ func shardPlan(w io.Writer, props *config.Properties, id string) error {
 	}
 	if id != "all" {
 		known := false
-		for _, e := range paperexp.Registry() {
+		for _, e := range repro.Experiments() {
 			if e.ID == id {
 				known = true
 				break
@@ -594,9 +512,9 @@ func shardPlan(w io.Writer, props *config.Properties, id string) error {
 	}
 	sort.Strings(files)
 	fmt.Fprintf(w, "\nshard files present under %s:\n", dir)
-	tab := harness.NewTable().Header("file", "records", "distinct", "torn")
+	tab := repro.NewTable().Header("file", "records", "distinct", "torn")
 	for _, f := range files {
-		info, err := runstore.Inspect(f)
+		info, err := repro.Inspect(f)
 		if err != nil {
 			return err
 		}
@@ -607,11 +525,11 @@ func shardPlan(w io.Writer, props *config.Properties, id string) error {
 	return nil
 }
 
-// diff gates a current run journal against a baseline journal and
-// returns an error when any cell regressed, so CI pipelines can fail on
-// the exit code.
+// diff gates a current run store against a baseline store and returns
+// an error when any cell regressed or went unmeasured, so CI pipelines
+// can fail on the exit code.
 func diff(w io.Writer, props *config.Properties, basePath, curPath string) error {
-	opt := runstore.GateOptions{}
+	var opt repro.GateOptions
 	var err error
 	if props.GetOr("diff.confidence", "") != "" {
 		if opt.Confidence, err = props.GetFloat("diff.confidence"); err != nil {
@@ -623,59 +541,22 @@ func diff(w io.Writer, props *config.Properties, basePath, curPath string) error
 			return err
 		}
 	}
-	baseRecs, err := runstore.LoadRecords(basePath)
+	d, err := repro.Diff(basePath, curPath, opt)
 	if err != nil {
 		return err
 	}
-	curRecs, err := runstore.LoadRecords(curPath)
-	if err != nil {
-		return err
-	}
-	baseSums := runstore.Summarize(baseRecs)
-	curByExp := map[string]*runstore.Summary{}
-	for _, s := range runstore.Summarize(curRecs) {
-		curByExp[s.Experiment] = s
-	}
-	if len(baseSums) == 0 {
-		return fmt.Errorf("baseline %s holds no records", basePath)
-	}
-	if len(curByExp) == 0 {
-		return fmt.Errorf("current %s holds no records (crashed before the first append?)", curPath)
-	}
-	// A baseline experiment or cell absent from the current run fails the
-	// gate just like a regression: "we no longer measure it" must never
-	// read as "it did not regress".
-	regressions, missing := 0, 0
-	for _, base := range baseSums {
-		cur, ok := curByExp[base.Experiment]
-		if !ok {
-			fmt.Fprintf(w, "experiment %q: absent from current run\n", base.Experiment)
-			missing += len(base.Rows)
+	for _, e := range d.Entries {
+		if e.Report == nil {
+			fmt.Fprintf(w, "experiment %q: absent from current run\n", e.Experiment)
 			continue
 		}
-		delete(curByExp, base.Experiment)
-		report, err := runstore.Gate(base, cur, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, report)
-		regressions += len(report.Regressions())
-		for _, f := range report.Findings {
-			if f.Verdict == runstore.Missing {
-				missing++
-			}
-		}
+		fmt.Fprintln(w, e.Report)
 	}
-	var onlyCur []string
-	for name := range curByExp {
-		onlyCur = append(onlyCur, name)
-	}
-	sort.Strings(onlyCur)
-	for _, name := range onlyCur {
+	for _, name := range d.CurrentOnly {
 		fmt.Fprintf(w, "experiment %q: in current only, skipped\n", name)
 	}
-	if regressions > 0 || missing > 0 {
-		return fmt.Errorf("%d cell(s) regressed, %d cell(s) missing versus baseline %s", regressions, missing, basePath)
+	if d.Failed() {
+		return fmt.Errorf("%d cell(s) regressed, %d cell(s) missing versus baseline %s", d.Regressions, d.Missing, basePath)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -313,5 +315,36 @@ func TestDiffFlagsSeededRegression(t *testing.T) {
 	// An invalid confidence must error, not silently fall back.
 	if err := runW(&out, []string{"-Ddiff.confidence=95", "diff", base, base}); err == nil {
 		t.Error("confidence=95 (percent, not fraction) should be rejected")
+	}
+}
+
+// TestRunCanceledContext covers the Ctrl-C path end to end at the CLI
+// layer: a canceled context aborts a scheduled run with the context
+// error, and whatever the journal holds stays valid for a warm start.
+func TestRunCanceledContext(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := runCtxW(ctx, &out, []string{"-Dsched.workers=2", "-Djournal.dir=" + dir, "run", "t4"})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run = %v, want context.Canceled", err)
+	}
+	// The journal dir holds either nothing or valid journals — inspect
+	// must succeed on whatever is there.
+	files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if _, err := runstore.Inspect(f); err != nil {
+			t.Errorf("journal %s invalid after cancellation: %v", f, err)
+		}
+	}
+
+	// The same command under a live context completes and warm-starts
+	// from whatever the canceled run persisted.
+	if err := runW(&out, []string{"-Dsched.workers=2", "-Djournal.dir=" + dir, "run", "t4"}); err != nil {
+		t.Fatal(err)
 	}
 }

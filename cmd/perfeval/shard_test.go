@@ -205,18 +205,18 @@ func TestShardPlanCommand(t *testing.T) {
 func TestShardFlagValidation(t *testing.T) {
 	dir := t.TempDir()
 	for _, bad := range [][]string{
-		{"-Dsched.shards=2", "run", "t4"},                                      // no journal dir
-		{"-Dsched.shards=2", "-Djournal.dir=" + dir, "run", "t4"},              // shards without an explicit shard
-		{"-Dsched.shard=1", "-Djournal.dir=" + dir, "run", "t4"},               // shard without shards
-		{"-Dsched.shards=0", "-Djournal.dir=" + dir, "run", "t4"},              // bad count
-		{"-Dsched.shards=x", "-Djournal.dir=" + dir, "run", "t4"},              // unparsable
-		{"-Dsched.shards=2", "-Dsched.shard=2", "-Djournal.dir=" + dir, "run", "t4"}, // out of range
+		{"-Dsched.shards=2", "run", "t4"},                                                                // no journal dir
+		{"-Dsched.shards=2", "-Djournal.dir=" + dir, "run", "t4"},                                        // shards without an explicit shard
+		{"-Dsched.shard=1", "-Djournal.dir=" + dir, "run", "t4"},                                         // shard without shards
+		{"-Dsched.shards=0", "-Djournal.dir=" + dir, "run", "t4"},                                        // bad count
+		{"-Dsched.shards=x", "-Djournal.dir=" + dir, "run", "t4"},                                        // unparsable
+		{"-Dsched.shards=2", "-Dsched.shard=2", "-Djournal.dir=" + dir, "run", "t4"},                     // out of range
 		{"-Dsched.shards=2", "-Dsched.shard=1", "-Djournal.dir=" + dir, "-Dadaptive.min=2", "run", "t4"}, // adaptive combo
-		{"merge"},                          // no out
-		{"merge", "out.jsonl"},             // no sources
+		{"merge"},              // no out
+		{"merge", "out.jsonl"}, // no sources
 		{"merge", filepath.Join(dir, "out.jsonl"), filepath.Join(dir, "absent.jsonl")},
-		{"shard-plan"},                     // no id
-		{"shard-plan", "t4"},               // no shard count
+		{"shard-plan"},       // no id
+		{"shard-plan", "t4"}, // no shard count
 		{"-Dsched.shards=0", "shard-plan", "t4"},
 		{"-Dsched.shards=2", "shard-plan", "zzz"},
 	} {

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -93,7 +94,7 @@ func run() error {
 		return err
 	}
 	fixed := sched.New(sched.Options{Workers: 4})
-	if _, err := fixed.Execute(e); err != nil {
+	if _, err := fixed.Execute(context.Background(), e); err != nil {
 		return err
 	}
 	fmt.Printf("== fixed budget ==\nspent %d replicates\n\n", fixed.LastStats().Units)
@@ -111,7 +112,7 @@ func run() error {
 		return err
 	}
 	s := sched.New(sched.Options{Workers: 4, JournalDir: dir, Controller: ctrl})
-	rs, err := s.Execute(e)
+	rs, err := s.Execute(context.Background(), e)
 	if err != nil {
 		return err
 	}
@@ -145,7 +146,7 @@ func run() error {
 		return err
 	}
 	s2 := sched.New(sched.Options{Workers: 4, JournalDir: dir2, Controller: ctrl2})
-	if _, err := s2.Execute(e); err != nil {
+	if _, err := s2.Execute(context.Background(), e); err != nil {
 		return err
 	}
 	fmt.Println("\n== adaptive vs baseline, one cell 30% slower ==")

@@ -28,6 +28,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -84,7 +85,7 @@ func run() error {
 	// 1. Live run, journal-backed.
 	journalDir := filepath.Join(dir, "journal")
 	live := sched.New(sched.Options{Workers: 4, JournalDir: journalDir})
-	if _, err := live.Execute(e); err != nil {
+	if _, err := live.Execute(context.Background(), e); err != nil {
 		return err
 	}
 	st := live.LastStats()
@@ -133,7 +134,7 @@ func run() error {
 			return archivestore.OpenDir(d, experiment)
 		},
 	})
-	if _, err := replay.Execute(e); err != nil {
+	if _, err := replay.Execute(context.Background(), e); err != nil {
 		return err
 	}
 	rst := replay.LastStats()

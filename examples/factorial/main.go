@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -37,7 +38,7 @@ func run() error {
 		"cache=1KB memory=16MB": 45,
 		"cache=2KB memory=16MB": 75,
 	}
-	rs, err := harness.Execute(&harness.Experiment{
+	rs, err := harness.Execute(context.Background(), &harness.Experiment{
 		Name: "workstation MIPS", Design: d, Responses: []string{"MIPS"},
 		Run: func(a design.Assignment, _ int) (map[string]float64, error) {
 			return map[string]float64{"MIPS": mips[a.String()]}, nil

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -95,7 +96,7 @@ func main() {
 		}},
 	}
 
-	report, err := core.Conduct(&core.Study{
+	report, err := core.Conduct(context.Background(), &core.Study{
 		Question:   "does the stdlib sort beat insertion sort, and does the gap grow with input size (interaction)?",
 		Experiment: exp,
 		Hardware:   hw, Software: sw, Suite: suite,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -35,7 +36,7 @@ func run() error {
 
 	fmt.Println("executing the suite in-process:")
 	report, err := suite.Run(realClock{start: time.Now()}, func(e repeat.Experiment) error {
-		_, err := paperexp.Run(e.ID)
+		_, err := paperexp.Run(context.Background(), e.ID)
 		return err
 	})
 	if err != nil {

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -72,7 +73,7 @@ func main() {
 	})
 	check(err)
 	s1 := sched.New(sched.Options{Workers: 4, JournalDir: dir})
-	_, err = s1.Execute(crashing)
+	_, err = s1.Execute(context.Background(), crashing)
 	fmt.Printf("pass 1: crashed as scripted (%v)\n", err != nil)
 
 	j, err := runstore.OpenDir(dir, crashing.Name)
@@ -88,7 +89,7 @@ func main() {
 	})
 	check(err)
 	s2 := sched.New(sched.Options{Workers: 4, JournalDir: dir})
-	rs, err := s2.Execute(healthy)
+	rs, err := s2.Execute(context.Background(), healthy)
 	check(err)
 	st := s2.LastStats()
 	fmt.Printf("pass 2: %d replayed from journal, %d executed, %d total\n\n",
@@ -109,7 +110,7 @@ func main() {
 		return simulate(a, rep, slowdown), nil
 	})
 	check(err)
-	rs2, err := sched.New(sched.Options{Workers: 4}).Execute(regressed)
+	rs2, err := sched.New(sched.Options{Workers: 4}).Execute(context.Background(), regressed)
 	check(err)
 
 	baseline, err := runstore.LoadSummary(baselinePath)

@@ -22,6 +22,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -71,7 +72,7 @@ func main() {
 		e, err := experiment()
 		check(err)
 		s := sched.New(sched.Options{Workers: 2, JournalDir: dir, Shards: shards, Shard: k})
-		_, err = s.Execute(e)
+		_, err = s.Execute(context.Background(), e)
 		check(err)
 		st := s.LastStats()
 		fmt.Printf("worker %d/%d: executed %2d units, skipped %2d owned by other shards\n",
@@ -92,7 +93,7 @@ func main() {
 	j, err := runstore.Open(merged)
 	check(err)
 	s := sched.New(sched.Options{Workers: 2, Store: j})
-	rs, err := s.Execute(e)
+	rs, err := s.Execute(context.Background(), e)
 	check(err)
 	check(j.Close())
 	st := s.LastStats()
@@ -104,7 +105,7 @@ func main() {
 	singleDir := filepath.Join(dir, "single")
 	e2, err := experiment()
 	check(err)
-	_, err = sched.New(sched.Options{Workers: 1, JournalDir: singleDir}).Execute(e2)
+	_, err = sched.New(sched.Options{Workers: 1, JournalDir: singleDir}).Execute(context.Background(), e2)
 	check(err)
 	singleData, err := os.ReadFile(filepath.Join(singleDir, runstore.SanitizeName(e.Name)+".jsonl"))
 	check(err)

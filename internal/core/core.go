@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -53,12 +54,13 @@ type Report struct {
 	Text      string
 }
 
-// Conduct validates the study, executes the experiment, analyzes it, and
+// Conduct validates the study, executes the experiment through the
+// context's executor (harness.WithExecutor), analyzes it, and
 // assembles the report. Methodological gaps (no replication, missing
 // environment spec, no repeatability packaging) do not abort the study —
 // they are recorded on the checklist, mirroring how the paper treats them
 // as craftsmanship defects rather than hard failures.
-func Conduct(s *Study) (*Report, error) {
+func Conduct(ctx context.Context, s *Study) (*Report, error) {
 	if s == nil || s.Experiment == nil {
 		return nil, fmt.Errorf("core: study needs an experiment")
 	}
@@ -69,7 +71,7 @@ func Conduct(s *Study) (*Report, error) {
 		s.Confidence = 0.95
 	}
 
-	rs, err := harness.Execute(s.Experiment)
+	rs, err := harness.Execute(ctx, s.Experiment)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -58,7 +59,7 @@ func fullStudy(t *testing.T) *Study {
 }
 
 func TestConductSoundStudy(t *testing.T) {
-	rep, err := Conduct(fullStudy(t))
+	rep, err := Conduct(context.Background(), fullStudy(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestConductSoundStudy(t *testing.T) {
 
 func TestConductFlagsGaps(t *testing.T) {
 	s := &Study{Question: "q", Experiment: demoExperiment(t, 1)}
-	rep, err := Conduct(s)
+	rep, err := Conduct(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,13 +100,13 @@ func TestConductFlagsGaps(t *testing.T) {
 }
 
 func TestConductValidation(t *testing.T) {
-	if _, err := Conduct(nil); err == nil {
+	if _, err := Conduct(context.Background(), nil); err == nil {
 		t.Error("nil study should error")
 	}
-	if _, err := Conduct(&Study{Experiment: demoExperiment(t, 1)}); err == nil {
+	if _, err := Conduct(context.Background(), &Study{Experiment: demoExperiment(t, 1)}); err == nil {
 		t.Error("missing question should error")
 	}
-	if _, err := Conduct(&Study{Question: "q"}); err == nil {
+	if _, err := Conduct(context.Background(), &Study{Question: "q"}); err == nil {
 		t.Error("missing experiment should error")
 	}
 }
@@ -115,7 +116,7 @@ func TestConductIncompleteSpecs(t *testing.T) {
 	s.Hardware.RAMBytes = 0
 	s.Software.Flags = ""
 	s.Suite.Install = ""
-	rep, err := Conduct(s)
+	rep, err := Conduct(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

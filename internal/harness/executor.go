@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -15,8 +16,13 @@ import (
 // in internal/sched without touching experiment code. Sequential stays
 // the default: for measurement-sensitive runs, concurrent execution on
 // one machine perturbs the very quantity being measured.
+//
+// The context carries cancellation through the whole execution: an
+// executor must stop scheduling new units once ctx is done, drain
+// whatever is in flight (persisting completed units, so a resumed run
+// warm-starts from them), and return ctx.Err().
 type Executor interface {
-	Execute(e *Experiment) (*ResultSet, error)
+	Execute(ctx context.Context, e *Experiment) (*ResultSet, error)
 }
 
 var (
@@ -26,7 +32,9 @@ var (
 
 // SetDefaultExecutor swaps the executor used by the package-level Execute
 // and returns the previous one so callers can restore it. A nil argument
-// resets to the Sequential executor.
+// resets to the Sequential executor. Prefer WithExecutor for scoped
+// installation: a context-carried executor cannot leak across concurrent
+// library callers the way the process-global default can.
 func SetDefaultExecutor(ex Executor) Executor {
 	if ex == nil {
 		ex = Sequential{}
@@ -38,17 +46,40 @@ func SetDefaultExecutor(ex Executor) Executor {
 	return prev
 }
 
-// DefaultExecutor returns the executor the package-level Execute uses.
+// DefaultExecutor returns the executor the package-level Execute uses
+// when the context carries none.
 func DefaultExecutor() Executor {
 	defaultMu.RLock()
 	defer defaultMu.RUnlock()
 	return defaultExecutor
 }
 
-// Execute runs the full design with replication through the default
-// executor (Sequential unless SetDefaultExecutor installed another).
-func Execute(e *Experiment) (*ResultSet, error) {
-	return DefaultExecutor().Execute(e)
+// executorKey carries a scoped Executor in a context.
+type executorKey struct{}
+
+// WithExecutor returns a context that carries ex: every package-level
+// Execute under that context runs through ex instead of the process
+// default. This is how the public repro API binds a configured scheduler
+// to one run without mutating global state — two goroutines can run the
+// same experiment through different executors concurrently.
+func WithExecutor(ctx context.Context, ex Executor) context.Context {
+	return context.WithValue(ctx, executorKey{}, ex)
+}
+
+// ExecutorFrom returns the executor Execute would use under ctx: the
+// context-carried one if present, the process default otherwise.
+func ExecutorFrom(ctx context.Context) Executor {
+	if ex, ok := ctx.Value(executorKey{}).(Executor); ok && ex != nil {
+		return ex
+	}
+	return DefaultExecutor()
+}
+
+// Execute runs the full design with replication through the context's
+// executor (see WithExecutor), falling back to the process default
+// (Sequential unless SetDefaultExecutor installed another).
+func Execute(ctx context.Context, e *Experiment) (*ResultSet, error) {
+	return ExecutorFrom(ctx).Execute(ctx, e)
 }
 
 // CellStats itemizes the replicates an executor spent on one design cell
@@ -77,11 +108,13 @@ type BudgetReporter interface {
 
 // Sequential executes every design row and replicate strictly in order in
 // the calling goroutine — the executor of choice when the response is a
-// time measurement that concurrent load would distort.
+// time measurement that concurrent load would distort. Cancellation is
+// checked between units: the unit being measured always completes, the
+// next one never starts.
 type Sequential struct{}
 
 // Execute implements Executor.
-func (Sequential) Execute(e *Experiment) (*ResultSet, error) {
+func (Sequential) Execute(ctx context.Context, e *Experiment) (*ResultSet, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,6 +126,9 @@ func (Sequential) Execute(e *Experiment) (*ResultSet, error) {
 		}
 		row := ResultRow{Assignment: a}
 		for rep := 0; rep < e.Design.Replicates; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("harness: %s interrupted before run %d replicate %d: %w", e.Name, r+1, rep+1, err)
+			}
 			resp, err := RunUnit(e, a, r, rep)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestValidateRejectsZeroReplicates(t *testing.T) {
 		if !strings.Contains(err.Error(), "Replicates") {
 			t.Errorf("error should name Replicates: %v", err)
 		}
-		if _, err := Execute(e); err == nil {
+		if _, err := Execute(context.Background(), e); err == nil {
 			t.Errorf("Replicates = %d: Execute should reject", reps)
 		}
 	}
@@ -39,7 +40,7 @@ func TestExecuteRejectsNonFiniteResponses(t *testing.T) {
 		e.Run = func(design.Assignment, int) (map[string]float64, error) {
 			return c.resp, nil
 		}
-		if _, err := Execute(e); err == nil {
+		if _, err := Execute(context.Background(), e); err == nil {
 			t.Errorf("%s: Execute should reject", c.name)
 		}
 	}
@@ -51,9 +52,9 @@ type countingExecutor struct {
 	calls int
 }
 
-func (c *countingExecutor) Execute(e *Experiment) (*ResultSet, error) {
+func (c *countingExecutor) Execute(ctx context.Context, e *Experiment) (*ResultSet, error) {
 	c.calls++
-	return Sequential{}.Execute(e)
+	return Sequential{}.Execute(ctx, e)
 }
 
 func TestSetDefaultExecutor(t *testing.T) {
@@ -63,7 +64,7 @@ func TestSetDefaultExecutor(t *testing.T) {
 	if DefaultExecutor() != Executor(ce) {
 		t.Fatal("DefaultExecutor should return the installed executor")
 	}
-	rs, err := Execute(paperExperiment(t, 2))
+	rs, err := Execute(context.Background(), paperExperiment(t, 2))
 	if err != nil {
 		t.Fatal(err)
 	}

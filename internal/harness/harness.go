@@ -172,7 +172,7 @@ func (rs *ResultSet) Report() string {
 	var b strings.Builder
 	e := rs.Experiment
 	fmt.Fprintf(&b, "experiment: %s (%s, %d runs x %d replicates)\n",
-		e.Name, e.Design.Kind, e.Design.NumRuns(), maxInt(e.Design.Replicates, 1))
+		e.Name, e.Design.Kind, e.Design.NumRuns(), max(e.Design.Replicates, 1))
 	for _, m := range design.Diagnose(e.Design, 0) {
 		fmt.Fprintf(&b, "WARNING: %s\n", m)
 	}
@@ -257,13 +257,6 @@ func (rs *ResultSet) Report() string {
 	return b.String()
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Table renders aligned monospace tables, the house style of every report
 // in this repository.
 type Table struct {
@@ -327,7 +320,7 @@ func (t *Table) String() string {
 		for _, w := range widths {
 			total += w + 2
 		}
-		b.WriteString(strings.Repeat("-", maxInt(total-2, 1)))
+		b.WriteString(strings.Repeat("-", max(total-2, 1)))
 		b.WriteByte('\n')
 	}
 	for _, r := range t.rows {

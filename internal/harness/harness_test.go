@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -40,7 +41,7 @@ func paperExperiment(t *testing.T, reps int) *Experiment {
 }
 
 func TestExecutePaperExample(t *testing.T) {
-	rs, err := Execute(paperExperiment(t, 3))
+	rs, err := Execute(context.Background(), paperExperiment(t, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestExecutePaperExample(t *testing.T) {
 }
 
 func TestCIs(t *testing.T) {
-	rs, err := Execute(paperExperiment(t, 3))
+	rs, err := Execute(context.Background(), paperExperiment(t, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,14 +83,14 @@ func TestCIs(t *testing.T) {
 		}
 	}
 	// Single replicate: CIs impossible.
-	rs1, _ := Execute(paperExperiment(t, 1))
+	rs1, _ := Execute(context.Background(), paperExperiment(t, 1))
 	if _, err := rs1.CIs("MIPS", 0.95); err == nil {
 		t.Error("CI with 1 replicate should error")
 	}
 }
 
 func TestReport(t *testing.T) {
-	rs, err := Execute(paperExperiment(t, 3))
+	rs, err := Execute(context.Background(), paperExperiment(t, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestReport(t *testing.T) {
 		t.Error("replicated experiment should not warn")
 	}
 	// Unreplicated: warns about ignored experimental error.
-	rs1, _ := Execute(paperExperiment(t, 1))
+	rs1, _ := Execute(context.Background(), paperExperiment(t, 1))
 	if !strings.Contains(rs1.Report(), "WARNING") {
 		t.Error("unreplicated experiment should warn (common mistake #1)")
 	}
@@ -143,14 +144,14 @@ func TestExecuteErrors(t *testing.T) {
 	boom := errors.New("runner crashed")
 	e := paperExperiment(t, 1)
 	e.Run = func(design.Assignment, int) (map[string]float64, error) { return nil, boom }
-	if _, err := Execute(e); !errors.Is(err, boom) {
+	if _, err := Execute(context.Background(), e); !errors.Is(err, boom) {
 		t.Errorf("runner error not propagated: %v", err)
 	}
 	e2 := paperExperiment(t, 1)
 	e2.Run = func(design.Assignment, int) (map[string]float64, error) {
 		return map[string]float64{"other": 1}, nil
 	}
-	if _, err := Execute(e2); err == nil {
+	if _, err := Execute(context.Background(), e2); err == nil {
 		t.Error("missing response should error")
 	}
 }
@@ -165,7 +166,7 @@ func TestEffectsRequireCanonicalTwoLevel(t *testing.T) {
 		Run: func(design.Assignment, int) (map[string]float64, error) {
 			return map[string]float64{"r": 1}, nil
 		}}
-	rs, err := Execute(e)
+	rs, err := Execute(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestEffectsRequireCanonicalTwoLevel(t *testing.T) {
 	d2, _ := design.TwoLevelFull([]design.Factor{design.MustFactor("a", "x", "y")})
 	d2.Rows[0], d2.Rows[1] = d2.Rows[1], d2.Rows[0]
 	e2 := &Experiment{Name: "scrambled", Design: d2, Responses: []string{"r"}, Run: e.Run}
-	rs2, err := Execute(e2)
+	rs2, err := Execute(context.Background(), e2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestResultSetCSV(t *testing.T) {
-	rs, err := Execute(paperExperiment(t, 3))
+	rs, err := Execute(context.Background(), paperExperiment(t, 3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestAnalyzeReplicatedThroughHarness(t *testing.T) {
 	e := paperExperiment(t, 3)
-	rs, err := Execute(e)
+	rs, err := Execute(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestAnalyzeReplicatedThroughHarness(t *testing.T) {
 }
 
 func TestAnalyzeReplicatedNeedsReplicates(t *testing.T) {
-	rs, err := Execute(paperExperiment(t, 1))
+	rs, err := Execute(context.Background(), paperExperiment(t, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestAnalyzeReplicatedNeedsTwoLevel(t *testing.T) {
 		Run: func(design.Assignment, int) (map[string]float64, error) {
 			return map[string]float64{"r": 1}, nil
 		}}
-	rs, err := Execute(e)
+	rs, err := Execute(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}

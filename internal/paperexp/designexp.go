@@ -1,6 +1,7 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -11,7 +12,7 @@ import (
 
 // RunT3 regenerates slide 58: two 2x2 tables, one without and one with a
 // factor interaction.
-func RunT3() (*Result, error) {
+func RunT3(ctx context.Context) (*Result, error) {
 	a := design.MustFactor("A", "A1", "A2")
 	b := design.MustFactor("B", "B1", "B2")
 	noInter := design.TwoByTwo{A: a, B: b, Y: [2][2]float64{{3, 5}, {6, 8}}}
@@ -39,7 +40,7 @@ func RunT3() (*Result, error) {
 
 // RunT4 regenerates slides 70-78: the 2^2 memory/cache MIPS example with
 // the sign-table method, producing y = 40 + 20 xA + 10 xB + 5 xA xB.
-func RunT4() (*Result, error) {
+func RunT4(ctx context.Context) (*Result, error) {
 	d, err := design.TwoLevelFull([]design.Factor{
 		design.MustFactor("memory", "4MB", "16MB"),
 		design.MustFactor("cache", "1KB", "2KB"),
@@ -63,7 +64,7 @@ func RunT4() (*Result, error) {
 			return map[string]float64{"MIPS": v}, nil
 		},
 	}
-	rs, err := harness.Execute(exp)
+	rs, err := harness.Execute(ctx, exp)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +93,7 @@ func RunT4() (*Result, error) {
 // network-type x address-pattern over throughput, transit time, and
 // response time — first on the paper's published data (reproducing the
 // published percentages), then live on the netsim simulator.
-func RunT5() (*Result, error) {
+func RunT5(ctx context.Context) (*Result, error) {
 	factors := []design.Factor{
 		design.MustFactor("network", "Crossbar", "Omega"),
 		design.MustFactor("pattern", "Random", "Matrix"),
@@ -171,7 +172,7 @@ func RunT5() (*Result, error) {
 
 // RunT6 regenerates slides 100-103: the construction of a 2^(7-4)
 // fractional factorial design and its properties.
-func RunT6() (*Result, error) {
+func RunT6(ctx context.Context) (*Result, error) {
 	var factors []design.Factor
 	for i := 0; i < 7; i++ {
 		factors = append(factors, design.MustFactor(string(rune('A'+i)), "-1", "+1"))
@@ -218,7 +219,7 @@ func RunT6() (*Result, error) {
 
 // RunT7 regenerates slides 104-109: the confounding structure of the two
 // 2^(4-1) half-fractions D=ABC and D=AB, and why D=ABC is preferred.
-func RunT7() (*Result, error) {
+func RunT7(ctx context.Context) (*Result, error) {
 	var factors []design.Factor
 	for i := 0; i < 4; i++ {
 		factors = append(factors, design.MustFactor(string(rune('A'+i)), "-1", "+1"))

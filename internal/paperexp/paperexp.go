@@ -8,6 +8,7 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -26,11 +27,13 @@ type Result struct {
 	Notes string
 }
 
-// Entry registers one experiment driver.
+// Entry registers one experiment driver. Run receives the caller's
+// context: drivers thread it into harness execution, so cancellation
+// reaches the executor (and, under the scheduler, the worker pool).
 type Entry struct {
 	ID    string
 	Title string
-	Run   func() (*Result, error)
+	Run   func(ctx context.Context) (*Result, error)
 }
 
 // Registry lists every experiment in paper order.
@@ -56,12 +59,12 @@ func Registry() []Entry {
 	}
 }
 
-// Run executes the experiment with the given id.
-func Run(id string) (*Result, error) {
+// Run executes the experiment with the given id under ctx.
+func Run(ctx context.Context, id string) (*Result, error) {
 	id = strings.ToLower(strings.TrimSpace(id))
 	for _, e := range Registry() {
 		if e.ID == id {
-			return e.Run()
+			return e.Run(ctx)
 		}
 	}
 	ids := make([]string, 0, len(Registry()))
@@ -72,11 +75,12 @@ func Run(id string) (*Result, error) {
 	return nil, fmt.Errorf("paperexp: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
 }
 
-// RunAll executes every experiment, stopping at the first failure.
-func RunAll() ([]*Result, error) {
+// RunAll executes every experiment under ctx, stopping at the first
+// failure (a canceled context included).
+func RunAll(ctx context.Context) ([]*Result, error) {
 	var out []*Result
 	for _, e := range Registry() {
-		r, err := e.Run()
+		r, err := e.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("paperexp: %s: %w", e.ID, err)
 		}

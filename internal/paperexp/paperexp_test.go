@@ -1,6 +1,7 @@
 package paperexp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,17 +23,17 @@ func TestRegistryAndRun(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if _, err := Run("nope"); err == nil {
+	if _, err := Run(context.Background(), "nope"); err == nil {
 		t.Error("unknown id should error")
 	}
-	r, err := Run("T4") // case-insensitive
+	r, err := Run(context.Background(), "T4") // case-insensitive
 	if err != nil || r.ID != "t4" {
 		t.Errorf("Run(T4) = %v, %v", r, err)
 	}
 }
 
 func TestRunAllProduceText(t *testing.T) {
-	results, err := RunAll()
+	results, err := RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestRunAllProduceText(t *testing.T) {
 // large result, almost nothing for the small one; server real >= server
 // user.
 func TestT1Shape(t *testing.T) {
-	r, err := RunT1()
+	r, err := RunT1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestT1Shape(t *testing.T) {
 
 // TestT2Shape: cold real >> cold user; hot real == hot user; hot beats cold.
 func TestT2Shape(t *testing.T) {
-	r, err := RunT2()
+	r, err := RunT2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestT2Shape(t *testing.T) {
 // TestF1Shape: every DBG/OPT ratio is > 1 and within the paper's observed
 // band; ratios vary across queries.
 func TestF1Shape(t *testing.T) {
-	r, err := RunF1()
+	r, err := RunF1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestF1Shape(t *testing.T) {
 // TestF2Shape: the memory wall — CPU component collapses across
 // generations, total does not, memory dominates at the end.
 func TestF2Shape(t *testing.T) {
-	r, err := RunF2()
+	r, err := RunF2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestF2Shape(t *testing.T) {
 
 // TestF3Shape: the tuple-at-a-time engine is slower on the same plan.
 func TestF3Shape(t *testing.T) {
-	r, err := RunF3()
+	r, err := RunF3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestF3Shape(t *testing.T) {
 
 // TestT4PinsPaperNumbers: q0=40, qA=20, qB=10, qAB=5.
 func TestT4PinsPaperNumbers(t *testing.T) {
-	r, err := RunT4()
+	r, err := RunT4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestT4PinsPaperNumbers(t *testing.T) {
 
 // TestT5PinsPaperPercentages: published variation-explained table.
 func TestT5PinsPaperPercentages(t *testing.T) {
-	r, err := RunT5()
+	r, err := RunT5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestT5PinsPaperPercentages(t *testing.T) {
 }
 
 func TestT6Shape(t *testing.T) {
-	r, err := RunT6()
+	r, err := RunT6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestT6Shape(t *testing.T) {
 }
 
 func TestT7Shape(t *testing.T) {
-	r, err := RunT7()
+	r, err := RunT7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestT7Shape(t *testing.T) {
 }
 
 func TestF4Shape(t *testing.T) {
-	r, err := RunF4()
+	r, err := RunF4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestF4Shape(t *testing.T) {
 }
 
 func TestF5Shape(t *testing.T) {
-	r, err := RunF5()
+	r, err := RunF5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestF5Shape(t *testing.T) {
 }
 
 func TestT9Shape(t *testing.T) {
-	r, err := RunT9()
+	r, err := RunT9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestT9Shape(t *testing.T) {
 }
 
 func TestT10Shape(t *testing.T) {
-	r, err := RunT10()
+	r, err := RunT10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestT10Shape(t *testing.T) {
 }
 
 func TestF7Shape(t *testing.T) {
-	r, err := RunF7()
+	r, err := RunF7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,11 +342,11 @@ func TestPaperSuite(t *testing.T) {
 // — the repository applies the paper's repeatability principle to itself.
 func TestDeterminism(t *testing.T) {
 	for _, e := range Registry() {
-		a, err := e.Run()
+		a, err := e.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
-		b, err := e.Run()
+		b, err := e.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}

@@ -1,6 +1,7 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -39,7 +40,7 @@ func newLaptopCtx(db *vdb.DB) *vdb.ExecContext {
 // server-real, client-real(file), client-real(terminal) times and result
 // size, for Q1 (small output) and Q16 (large output), measured as the last
 // of three consecutive hot runs.
-func RunT1() (*Result, error) {
+func RunT1(ctx context.Context) (*Result, error) {
 	db, err := tpch.Gen(sfT1, seed)
 	if err != nil {
 		return nil, err
@@ -102,7 +103,7 @@ func RunT1() (*Result, error) {
 
 // RunT2 regenerates slides 33-36: Q1 cold vs hot, user vs real time. The
 // shape: cold real >> cold user (disk I/O), hot real ~ hot user.
-func RunT2() (*Result, error) {
+func RunT2(ctx context.Context) (*Result, error) {
 	db, err := tpch.Gen(sfT2, seed)
 	if err != nil {
 		return nil, err
@@ -167,7 +168,7 @@ func RunT2() (*Result, error) {
 
 // RunF1 regenerates slides 40-41: the relative execution time DBG/OPT of
 // all 22 queries — same engine, same plans, different build mode.
-func RunF1() (*Result, error) {
+func RunF1(ctx context.Context) (*Result, error) {
 	db, err := tpch.Gen(sfF1, seed)
 	if err != nil {
 		return nil, err
@@ -214,7 +215,7 @@ func RunF1() (*Result, error) {
 // RunF2 regenerates slides 46/51: elapsed time per iteration of
 // SELECT MAX(column) across five machine generations, dissected into CPU
 // and memory components.
-func RunF2() (*Result, error) {
+func RunF2(ctx context.Context) (*Result, error) {
 	series := hwsim.MemoryWallSeries()
 	labels := make([]string, len(series))
 	cpu := make([]float64, len(series))
@@ -276,7 +277,7 @@ func RunF2() (*Result, error) {
 
 // RunF3 regenerates slide 54: per-operator profile of Q1 on a
 // tuple-at-a-time interpreter versus a column-at-a-time engine.
-func RunF3() (*Result, error) {
+func RunF3(ctx context.Context) (*Result, error) {
 	db, err := tpch.Gen(sfF3, seed)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -13,7 +14,7 @@ import (
 // RunF4 regenerates slides 115-134: the chart-guideline catalogue. It
 // constructs the paper's bad charts, runs the linter, and shows what it
 // flags.
-func RunF4() (*Result, error) {
+func RunF4(ctx context.Context) (*Result, error) {
 	var sb strings.Builder
 	var counts []float64
 
@@ -78,7 +79,7 @@ func RunF4() (*Result, error) {
 
 // RunF5 regenerates slides 142-145: confidence-interval overlap and the
 // histogram cell-size rule.
-func RunF5() (*Result, error) {
+func RunF5(ctx context.Context) (*Result, error) {
 	var sb strings.Builder
 
 	// Confidence intervals: two alternatives whose intervals overlap are
@@ -139,7 +140,7 @@ func RunF5() (*Result, error) {
 
 // RunF6 regenerates slides 138-141 and 146-148: the truncated-axis
 // pictorial game and the gnuplot sizing rule.
-func RunF6() (*Result, error) {
+func RunF6(ctx context.Context) (*Result, error) {
 	var sb strings.Builder
 
 	// MINE vs YOURS: 2610 vs 2600 drawn with a truncated axis looks like
@@ -179,7 +180,7 @@ func RunF6() (*Result, error) {
 
 // RunT8 regenerates slides 202-205: the automatic gnuplot pipeline over
 // the paper's results-m1-n5.csv data.
-func RunT8() (*Result, error) {
+func RunT8(ctx context.Context) (*Result, error) {
 	chart := plot.NewLineChart("Execution time for various scale factors",
 		"Scale factor", "Execution time (ms)",
 		plot.Series{Name: "results", Points: []plot.Point{
@@ -203,7 +204,7 @@ func RunT8() (*Result, error) {
 // RunT9 regenerates slides 212-215: the locale war story — average times
 // "13.666" and "12.3333" pasted into a mismatched-locale spreadsheet become
 // 13666 and 123333, and the hazard detector catches them.
-func RunT9() (*Result, error) {
+func RunT9(ctx context.Context) (*Result, error) {
 	original := []string{"13.666", "15", "12.3333", "13"}
 	var sb strings.Builder
 	sb.WriteString("avgs.out (average times over three runs):\n")
@@ -235,7 +236,7 @@ func RunT9() (*Result, error) {
 // RunT10 regenerates slides 149-156: under-, right-, and over-specified
 // hardware environment reports, plus parsing the paper's own cpuinfo
 // sample.
-func RunT10() (*Result, error) {
+func RunT10(ctx context.Context) (*Result, error) {
 	spec := sysinfo.HWSpec{
 		CPUVendor: "Intel",
 		CPUModel:  "Pentium M (Dothan)",

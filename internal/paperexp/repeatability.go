@@ -1,6 +1,7 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,7 +11,7 @@ import (
 
 // RunF7 regenerates slides 218-220: the SIGMOD 2008 repeatability outcome
 // charts, rendered as share bars, plus the stated headline numbers.
-func RunF7() (*Result, error) {
+func RunF7(ctx context.Context) (*Result, error) {
 	var sb strings.Builder
 	h := repeat.SIGMOD2008Headline()
 	fmt.Fprintf(&sb, "SIGMOD 2008: %d submissions, %d papers provided code for repeatability testing;\n",

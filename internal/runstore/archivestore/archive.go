@@ -3,6 +3,7 @@ package archivestore
 import (
 	"encoding/binary"
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
 	"sync"
@@ -340,21 +341,40 @@ func (a *Archive) ReplicateCount(experiment, hash string) int {
 	}
 }
 
-// Records implements runstore.Store: all distinct records in
-// first-appended order. Unlike Lookup it reads every live block — use it
-// for exports and diffs, not on the warm-start path.
-func (a *Archive) Records() []runstore.Record {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]runstore.Record, 0, len(a.order))
-	for _, k := range a.order {
-		rec, err := a.readRecord(a.idx[k])
-		if err != nil {
-			continue // unreadable underneath us; Lookup misses it too
+// Scan implements runstore.Store: all distinct records streamed in
+// first-appended order, each served by one point read of its block —
+// the record set is never materialized, which is what makes archive
+// exports viable at archive scale. The key order is snapshotted when
+// iteration starts, so a concurrent Append neither blocks nor corrupts
+// an in-flight scan; keys appended after the snapshot are not yielded,
+// while a superseding append to a snapshotted key may surface in its
+// latest form (blocks are read at yield time — see the Store
+// contract). A block that fails to read back (the file was tampered
+// with underneath the index) yields the error and stops the scan.
+func (a *Archive) Scan() iter.Seq2[runstore.Record, error] {
+	return func(yield func(runstore.Record, error) bool) {
+		a.mu.Lock()
+		keys := make([]string, len(a.order))
+		copy(keys, a.order)
+		a.mu.Unlock()
+		for _, k := range keys {
+			a.mu.Lock()
+			e, ok := a.idx[k]
+			if !ok {
+				a.mu.Unlock()
+				continue
+			}
+			rec, err := a.readRecord(e)
+			a.mu.Unlock()
+			if err != nil {
+				yield(runstore.Record{}, err)
+				return
+			}
+			if !yield(rec, nil) {
+				return
+			}
 		}
-		out = append(out, rec)
 	}
-	return out
 }
 
 // Append implements runstore.Store. The record becomes one checksummed

@@ -58,7 +58,10 @@ func TestRoundTripAndFinalizedReopen(t *testing.T) {
 		if n := s.ReplicateCount("e", "absent"); n != 0 {
 			t.Fatalf("%s: ReplicateCount(absent) = %d, want 0", stage, n)
 		}
-		recs := s.Records()
+		recs, err := runstore.Collect(s.Scan())
+		if err != nil {
+			t.Fatalf("%s: Scan: %v", stage, err)
+		}
 		if len(recs) != len(want) {
 			t.Fatalf("%s: Records() has %d records, want %d", stage, len(recs), len(want))
 		}
@@ -148,8 +151,8 @@ func TestLastWins(t *testing.T) {
 	if !ok || got.Responses["t"] != 2 {
 		t.Fatalf("Lookup = %+v ok=%v, want the re-appended record", got, ok)
 	}
-	if n := len(a.Records()); n != 1 {
-		t.Fatalf("Records() holds %d, want 1 distinct", n)
+	if got, err := runstore.Collect(a.Scan()); err != nil || len(got) != 1 {
+		t.Fatalf("Scan holds %d (err %v), want 1 distinct", len(got), err)
 	}
 	a.Close()
 	b, err := Open(path)
@@ -379,7 +382,7 @@ func TestBulkWriteLoadInspect(t *testing.T) {
 			recs = append(recs, rec("bulk", row, rep, float64(row)+float64(rep)/10))
 		}
 	}
-	if err := Write(path, recs, ""); err != nil {
+	if err := Write(path, runstore.Seq(recs), ""); err != nil {
 		t.Fatal(err)
 	}
 	got, info, err := Load(path)

@@ -69,7 +69,7 @@ func benchFiles(b *testing.B) (journal, archive string) {
 			return
 		}
 		jf.Close()
-		if err := archivestore.Write(filepath.Join(dir, "bench.arch"), recs, ""); err != nil {
+		if err := archivestore.Write(filepath.Join(dir, "bench.arch"), runstore.Seq(recs), ""); err != nil {
 			benchOnce.err = err
 			return
 		}

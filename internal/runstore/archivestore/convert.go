@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
 
@@ -12,27 +13,30 @@ import (
 
 // init plugs the archive format into the runstore journal tooling:
 // Merge writes an archive when the destination ends in Ext, and
-// LoadRecords / Inspect / Merge sources dispatch on the file magic. Any
-// program importing this package gets the behavior; the scheduler does
-// not need to.
+// LoadRecords / ScanFile / Inspect / Merge sources dispatch on the file
+// magic through the streaming reader. Any program importing this
+// package gets the behavior; the scheduler does not need to.
 func init() {
 	runstore.RegisterFormat(runstore.Format{
-		Name:    "archive",
-		Ext:     Ext,
-		Sniff:   func(head []byte) bool { return bytes.Equal(head, []byte(Magic)) },
-		Load:    Load,
-		Write:   Write,
-		Inspect: Inspect,
+		Name:       "archive",
+		Ext:        Ext,
+		Sniff:      func(head []byte) bool { return bytes.Equal(head, []byte(Magic)) },
+		OpenReader: OpenReader,
+		Write:      Write,
+		Inspect:    Inspect,
 	})
 }
 
-// Write atomically replaces dst with a finalized archive holding recs in
-// the given order: temp file in the target directory, one fsync, rename —
-// the bulk build path behind `perfeval archive` and archive-destination
-// merges. Unlike Archive.Append it buffers and syncs once, so converting
-// a 10^5-record journal costs one write pass, not 10^5 fsyncs. The file
-// mode is copied from modeFrom when that file exists, 0644 otherwise.
-func Write(dst string, recs []runstore.Record, modeFrom string) error {
+// Write atomically replaces dst with a finalized archive holding the
+// records of recs in sequence order: temp file in the target directory,
+// one fsync, rename — the bulk build path behind `perfeval archive` and
+// archive-destination merges. The sequence is consumed incrementally
+// (one record encoded at a time, never a materialized slice), and
+// unlike Archive.Append it buffers and syncs once, so converting a
+// 10^5-record journal costs one write pass, not 10^5 fsyncs. A yielded
+// error aborts the write and leaves dst untouched. The file mode is
+// copied from modeFrom when that file exists, 0644 otherwise.
+func Write(dst string, recs iter.Seq2[runstore.Record, error], modeFrom string) error {
 	if dir := filepath.Dir(dst); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("archivestore: %w", err)
@@ -55,11 +59,12 @@ func Write(dst string, recs []runstore.Record, modeFrom string) error {
 		tmp.Close()
 		return err
 	}
-	bw := bufio.NewWriter(tmp)
+	bw := bufio.NewWriterSize(tmp, 256<<10)
 	if _, err := bw.WriteString(Magic); err != nil {
 		return fail(fmt.Errorf("archivestore: %w", err))
 	}
 	off := int64(headerSize)
+	written := 0
 	var pending []pendingEntry
 	var pages []int64
 	flushPage := func() error {
@@ -75,7 +80,10 @@ func Write(dst string, recs []runstore.Record, modeFrom string) error {
 		pending = pending[:0]
 		return nil
 	}
-	for _, rec := range recs {
+	for rec, rerr := range recs {
+		if rerr != nil {
+			return fail(rerr)
+		}
 		// Fill a missing hash so the stored key matches what Lookup
 		// computes — but otherwise write records verbatim: bulk Write is
 		// a format conversion, and re-validating (or re-keying) here
@@ -96,6 +104,7 @@ func Write(dst string, recs []runstore.Record, modeFrom string) error {
 			entry: entry{off: off, n: int32(len(block))},
 		})
 		off += int64(len(block))
+		written++
 		if len(pending) >= DefaultIndexInterval {
 			if err := flushPage(); err != nil {
 				return fail(err)
@@ -105,7 +114,7 @@ func Write(dst string, recs []runstore.Record, modeFrom string) error {
 	if err := flushPage(); err != nil {
 		return fail(err)
 	}
-	tail := appendBlock(nil, blockFooter, encodeFooterPayload(len(recs), pages))
+	tail := appendBlock(nil, blockFooter, encodeFooterPayload(written, pages))
 	tail = append(tail, encodeTrailer(off)...)
 	if _, err := bw.Write(tail); err != nil {
 		return fail(fmt.Errorf("archivestore: %w", err))
@@ -125,134 +134,55 @@ func Write(dst string, recs []runstore.Record, modeFrom string) error {
 	return nil
 }
 
-// walkInfo is what one pass over an archive's block sequence learns
-// without interpreting record payloads.
-type walkInfo struct {
-	records   int   // record blocks, superseded included
-	pages     int   // index page blocks
-	finalized bool  // valid footer + trailer end the file
-	dropped   int64 // trailing bytes a read-write Open would truncate
-}
-
-// walkArchive validates data as an archive file and iterates its valid
-// block prefix, calling onRecord for each record block. It never writes:
-// a torn or unfinalized tail is measured and reported, exactly what the
-// read-write Open would truncate.
-func walkArchive(path string, data []byte, onRecord func(payload []byte) error) (walkInfo, error) {
-	var wi walkInfo
-	if len(data) < headerSize || string(data[:headerSize]) != Magic {
-		return wi, fmt.Errorf("archivestore: %s is not an archive (bad or short magic)", path)
-	}
-	off := int64(headerSize)
-	for {
-		typ, payload, ok := parseBlock(data, off)
-		if !ok {
-			break
-		}
-		blockLen := int64(blockHeaderSize) + int64(len(payload))
-		if typ == blockFooter {
-			// A finalized archive ends footer, trailer, EOF — anything
-			// else past the footer is a torn finalize.
-			end := off + blockLen
-			if int64(len(data)) == end+int64(trailerSize) {
-				if footOff, ok := decodeTrailer(data[end:]); ok && footOff == off {
-					wi.finalized = true
-				}
-			}
-			break
-		}
-		switch typ {
-		case blockRecord:
-			if err := onRecord(payload); err != nil {
-				return wi, err
-			}
-			wi.records++
-		case blockIndex:
-			wi.pages++
-		}
-		off += blockLen
-	}
-	if !wi.finalized {
-		wi.dropped = int64(len(data)) - off
-	}
-	return wi, nil
-}
-
 // Load reads every record from an archive file read-only — the file is
 // never created, repaired, or truncated — returning the distinct
-// last-wins records in first-appended order plus the Info shape. It
-// backs runstore.LoadRecords and Merge sources for archive files.
+// last-wins records in first-appended order plus the Info shape, from
+// one walk of the block sequence. It is the materializing convenience
+// over the streaming reader; range over runstore.ScanFile to avoid the
+// slice.
 func Load(path string) ([]runstore.Record, runstore.Info, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, runstore.Info{}, fmt.Errorf("archivestore: %w", err)
-	}
-	recs := make(map[string]runstore.Record)
-	var order []string
-	wi, err := walkArchive(path, data, func(payload []byte) error {
-		rec, err := decodeRecordPayload(payload)
-		if err != nil {
-			return fmt.Errorf("archivestore: %s: %w", path, err)
-		}
-		k := rec.Key()
-		if _, exists := recs[k]; !exists {
-			order = append(order, k)
-		}
-		recs[k] = rec
-		return nil
-	})
+	r, err := OpenReader(path)
 	if err != nil {
 		return nil, runstore.Info{}, err
 	}
+	defer r.Close()
+	idx := make(map[string]runstore.Extent)
+	var order []string
+	for e, eerr := range r.Entries() {
+		if eerr != nil {
+			return nil, runstore.Info{}, eerr
+		}
+		k := e.Key()
+		if _, seen := idx[k]; !seen {
+			order = append(order, k)
+		}
+		idx[k] = e.Ext
+	}
 	out := make([]runstore.Record, 0, len(order))
 	for _, k := range order {
-		out = append(out, recs[k])
+		rec, err := r.Read(idx[k])
+		if err != nil {
+			return nil, runstore.Info{}, err
+		}
+		out = append(out, rec)
 	}
-	return out, infoOf(wi, len(order)), nil
+	return out, r.Info(), nil
 }
 
 // Inspect reports an archive file's shape — block and index page counts,
-// footer state, and any torn or unfinalized tail — without decoding a
-// single record payload. It backs runstore.Inspect for archive files.
+// footer state, and any torn or unfinalized tail — through the same
+// streaming walk every other reader uses. It backs runstore.Inspect for
+// archive files.
 func Inspect(path string) (runstore.Info, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return runstore.Info{}, fmt.Errorf("archivestore: %w", err)
-	}
-	distinct := make(map[string]struct{})
-	wi, err := walkArchive(path, data, func(payload []byte) error {
-		exp, hash, rep, err := recordPayloadKey(payload)
-		if err != nil {
-			return fmt.Errorf("archivestore: %s: %w", path, err)
-		}
-		distinct[runstore.Key(exp, hash, rep)] = struct{}{}
-		return nil
-	})
+	r, err := OpenReader(path)
 	if err != nil {
 		return runstore.Info{}, err
 	}
-	return infoOf(wi, len(distinct)), nil
-}
-
-// infoOf maps a walk onto the runstore.Info contract: Torn flags any
-// file a read-write Open would truncate or rebuild by scan, so tooling
-// reports incomplete archives instead of silently counting only the
-// valid prefix.
-func infoOf(wi walkInfo, distinct int) runstore.Info {
-	info := runstore.Info{
-		Records:  wi.records,
-		Distinct: distinct,
-		Torn:     wi.dropped > 0 || (!wi.finalized && wi.records > 0),
+	defer r.Close()
+	for _, err := range r.Entries() {
+		if err != nil {
+			return runstore.Info{}, err
+		}
 	}
-	detail := fmt.Sprintf("archive: %d record block(s), %d index page(s)", wi.records, wi.pages)
-	switch {
-	case wi.finalized:
-		detail += ", footer ok"
-	case wi.dropped > 0:
-		detail += fmt.Sprintf(", TRUNCATED: no valid footer, %d trailing byte(s) would be dropped on open", wi.dropped)
-	default:
-		detail += ", unfinalized: no footer yet, open falls back to a full scan"
-	}
-	info.Detail = detail
-	return info
+	return r.Info(), nil
 }

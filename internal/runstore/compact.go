@@ -1,8 +1,8 @@
 package runstore
 
 import (
-	"fmt"
-	"os"
+	"bufio"
+	"iter"
 )
 
 // CompactStats reports what one compaction did.
@@ -16,10 +16,12 @@ type CompactStats struct {
 // record of every (experiment, hash, replicate) key, in first-appended
 // key order — exactly the view Open serves from its in-memory index, so
 // warm-start, diff, and summarize behavior is unchanged while the file
-// sheds every superseded record. Like Open, it loads the journal into
-// memory to build that view, so it compacts journals that still fit in
-// RAM — run it before they outgrow it. A torn trailing line is dropped
-// like Open would.
+// sheds every superseded record. A torn trailing line is dropped like
+// Open would.
+//
+// Compact streams: the index pass keeps one lightweight entry per key,
+// and the rewrite copies (or decodes) one record at a time, so peak
+// memory never holds the record set — run it on journals of any size.
 //
 // The rewrite is atomic: records go to a temporary file in the target
 // directory which is fsynced and renamed into place. dst == "" compacts
@@ -34,44 +36,55 @@ type CompactStats struct {
 // format — so compacting an archive in place keeps it an archive.
 func Compact(src, dst string) (CompactStats, error) {
 	var cs CompactStats
-	var recs []Record
 	srcFormat := formatOf(src)
-	if f := srcFormat; f != nil {
-		loaded, info, err := f.Load(src)
-		if err != nil {
-			return cs, err
-		}
-		recs = loaded
-		cs.Kept = len(recs)
-		cs.Dropped = info.Records - len(recs)
-		cs.Torn = info.Torn
-	} else {
-		data, err := os.ReadFile(src)
-		if err != nil {
-			return cs, fmt.Errorf("runstore: %w", err)
-		}
-		j := &Journal{path: src, recs: make(map[string]Record)}
-		if _, err := j.parse(data); err != nil {
-			return cs, fmt.Errorf("runstore: %s: %w", src, err)
-		}
-		recs = j.Records()
-		cs.Kept = len(recs)
-		cs.Dropped = j.appended - len(recs)
-		cs.Torn = j.torn
+	r, err := OpenSource(src)
+	if err != nil {
+		return cs, err
 	}
+	defer r.Close()
+	idx, order, records, err := indexEntries(r)
+	if err != nil {
+		return cs, err
+	}
+	cs.Kept = len(order)
+	cs.Dropped = records - len(order)
+	cs.Torn = r.Info().Torn
 
 	if dst == "" {
 		dst = src
 	}
-	write := writeRecords
-	if f := formatForDst(dst); f != nil {
-		write = f.Write
-	} else if dst == src && srcFormat != nil {
+	formatWrite := formatForDst(dst)
+	if formatWrite == nil && dst == src && srcFormat != nil {
 		// A renamed archive compacted in place stays an archive: the
 		// sniffed source format wins over the (absent) extension.
-		write = srcFormat.Write
+		formatWrite = srcFormat
 	}
-	if err := write(dst, recs, src); err != nil {
+	if formatWrite != nil {
+		seq := func(yield func(Record, error) bool) {
+			for _, k := range order {
+				rec, err := r.Read(idx[k].Ext)
+				if !yield(rec, err) {
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}
+		if err := formatWrite.Write(dst, iter.Seq2[Record, error](seq), src); err != nil {
+			return cs, err
+		}
+		return cs, nil
+	}
+	err = atomicWrite(dst, src, func(w *bufio.Writer) error {
+		for _, k := range order {
+			if err := writeEntry(w, r, idx[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
 		return cs, err
 	}
 	return cs, nil

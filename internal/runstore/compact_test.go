@@ -33,7 +33,10 @@ func TestCompactRoundTrip(t *testing.T) {
 	if err := j.Append(rec("e", 1, 0, b, map[string]float64{"ms": 88})); err != nil {
 		t.Fatal(err)
 	}
-	want := j.Records() // last-wins view before compaction
+	want, err := Collect(j.Scan()) // last-wins view before compaction
+	if err != nil {
+		t.Fatal(err)
+	}
 	j.Close()
 
 	raw, err := os.ReadFile(path)

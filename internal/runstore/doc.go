@@ -20,12 +20,21 @@
 // layout — is docs/FORMAT.md.
 //
 // Concurrency contract: Journal's Append, Lookup, ReplicateCount,
-// Records, Len, and Close are safe for concurrent use (one mutex guards
-// file and index). Package-level functions that rewrite files (Compact,
-// Merge) are single-writer: callers must not run them concurrently with
-// writers of the same files. Read-only entry points (LoadRecords,
+// Scan, Len, and Close are safe for concurrent use (one mutex guards
+// file and index); Scan snapshots the key set when iteration starts, so
+// concurrent appends neither block nor corrupt it. Package-level
+// functions that rewrite files (Compact, Merge) are single-writer:
+// callers must not run them concurrently with writers of the same
+// files. Read-only entry points (OpenSource, ScanFile, LoadRecords,
 // Inspect) never write and may run against files another process is
 // appending to; they see a prefix.
+//
+// Streaming contract: the Store view (Scan) and every file-level reader
+// (ScanFile, SourceReader, Merge, Compact) hand records to the consumer
+// one at a time — peak memory holds a lightweight index entry per key,
+// never the record set. Collect materializes a sequence for the few
+// sites that truly need a slice. The normative iteration-order and
+// error-in-sequence semantics are docs/FORMAT.md §6.
 //
 // Durability contract: Append returns only after the record's bytes are
 // written and fsynced, so a crash immediately after a successful Append

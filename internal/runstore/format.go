@@ -3,6 +3,7 @@ package runstore
 import (
 	"fmt"
 	"io"
+	"iter"
 	"os"
 	"strings"
 )
@@ -25,13 +26,15 @@ type Format struct {
 	// fewer bytes) is in the format. Sources are dispatched by content,
 	// not extension, so renamed files keep working.
 	Sniff func(head []byte) bool
-	// Load reads every record from a file read-only — the file is never
-	// created, repaired, or truncated — together with its Info shape.
-	Load func(path string) ([]Record, Info, error)
-	// Write atomically replaces dst with the given canonical record set,
-	// copying the file mode from modeFrom when it exists (mirroring the
-	// journal's writeRecords).
-	Write func(dst string, recs []Record, modeFrom string) error
+	// OpenReader opens the file for streaming read-only access — the
+	// file is never created, repaired, or truncated. It is how Merge,
+	// Compact, LoadRecords, and ScanFile consume files of the format.
+	OpenReader func(path string) (SourceReader, error)
+	// Write atomically replaces dst with the given canonical record
+	// sequence, consumed incrementally (never materialized), copying the
+	// file mode from modeFrom when it exists (mirroring the journal's
+	// writer). A yielded error aborts the write, leaving dst untouched.
+	Write func(dst string, recs iter.Seq2[Record, error], modeFrom string) error
 	// Inspect reports the file's shape without loading record payloads.
 	Inspect func(path string) (Info, error)
 }
@@ -44,7 +47,7 @@ var formats []Format
 // tooling. Call it from the backend package's init function only; later
 // registration races with lookups.
 func RegisterFormat(f Format) {
-	if f.Name == "" || f.Ext == "" || f.Sniff == nil || f.Load == nil || f.Write == nil || f.Inspect == nil {
+	if f.Name == "" || f.Ext == "" || f.Sniff == nil || f.OpenReader == nil || f.Write == nil || f.Inspect == nil {
 		panic(fmt.Sprintf("runstore: RegisterFormat: incomplete format %+v", f))
 	}
 	formats = append(formats, f)

@@ -22,10 +22,10 @@ func FuzzJournalParse(f *testing.F) {
 	f.Add([]byte(""))
 	f.Add([]byte("\n\n  \n"))
 	f.Add([]byte(valid + "\n"))
-	f.Add([]byte(valid + "\n" + valid))                              // parseable but unterminated tail
-	f.Add([]byte(valid + "\n" + `{"experiment":"e","ro`))            // torn tail
-	f.Add([]byte(`{"experiment":"e","ro` + "\n" + valid + "\n"))     // corrupt interior line
-	f.Add([]byte("{}\n" + valid + "\n{}\n"))                         // minimal records interleaved
+	f.Add([]byte(valid + "\n" + valid))                          // parseable but unterminated tail
+	f.Add([]byte(valid + "\n" + `{"experiment":"e","ro`))        // torn tail
+	f.Add([]byte(`{"experiment":"e","ro` + "\n" + valid + "\n")) // corrupt interior line
+	f.Add([]byte("{}\n" + valid + "\n{}\n"))                     // minimal records interleaved
 	f.Add([]byte(`{"experiment":"e","replicate":-3,"hash":"h"}` + "\n"))
 	f.Add([]byte{0xff, 0xfe, '{', '}', '\n'})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -37,7 +37,10 @@ func FuzzJournalParse(f *testing.F) {
 		if err != nil {
 			return // rejected (corrupt interior line); rejecting is fine, panicking is not
 		}
-		recs := j.Records()
+		recs, err := Collect(j.Scan())
+		if err != nil {
+			t.Fatalf("scan of reopened journal failed: %v", err)
+		}
 		extra := Record{
 			Experiment: "fuzz-extra",
 			Replicate:  0,

@@ -1,6 +1,7 @@
 package runstore
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -65,7 +66,7 @@ func TestFromResultSetMatchesJournalSummary(t *testing.T) {
 			return map[string]float64{"t": v + float64(rep)}, nil
 		},
 	}
-	rs, err := harness.Execute(e)
+	rs, err := harness.Execute(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}

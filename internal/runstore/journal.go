@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"iter"
 	"math"
 	"os"
 	"path/filepath"
@@ -72,7 +73,7 @@ type Journal struct {
 	path     string
 	f        *os.File
 	recs     map[string]Record
-	order    []string // keys in file order, for deterministic Records()
+	order    []string // keys in file order, for deterministic Scan order
 	appended int      // records ever indexed, including superseded ones
 	torn     bool     // a torn trailing line was truncated on open
 }
@@ -124,35 +125,20 @@ func Open(path string) (*Journal, error) {
 
 // parse loads every complete record from data into the index and
 // returns the byte offset up to which the file is intact (everything
-// past it is a torn trailing line to truncate).
+// past it is a torn trailing line to truncate). The line framing and
+// torn-tail rule live in scanJournal, shared with the streaming reader
+// behind Inspect, LoadRecords, Merge, and Compact — one rule, one
+// implementation.
 func (j *Journal) parse(data []byte) (keep int, err error) {
-	keep = len(data)
-	for offset := 0; offset < len(data); {
-		nl := bytes.IndexByte(data[offset:], '\n')
-		terminated := nl >= 0
-		var line []byte
-		var next int
-		if terminated {
-			line = data[offset : offset+nl]
-			next = offset + nl + 1
-		} else {
-			line = data[offset:]
-			next = len(data)
-		}
-		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
-			var rec Record
-			if err := json.Unmarshal(trimmed, &rec); err != nil {
-				if !terminated { // torn final append from a crash
-					j.torn = true
-					return offset, nil
-				}
-				return 0, fmt.Errorf("corrupt journal line at byte %d: %v", offset, err)
-			}
-			j.index(rec)
-		}
-		offset = next
+	k, torn, err := scanJournal(bytes.NewReader(data), func(rec Record, _ Extent) error {
+		j.index(rec)
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return keep, nil
+	j.torn = torn
+	return int(k), nil
 }
 
 // OpenDir opens the journal for one experiment under dir, creating the
@@ -228,15 +214,29 @@ func (j *Journal) ReplicateCount(experiment, hash string) int {
 	}
 }
 
-// Records returns all distinct records in first-appended order.
-func (j *Journal) Records() []Record {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	out := make([]Record, 0, len(j.order))
-	for _, k := range j.order {
-		out = append(out, j.recs[k])
+// Scan implements Store: all distinct records in first-appended order,
+// one at a time. The key order is snapshotted when iteration starts, so
+// a concurrent Append neither blocks nor corrupts an in-flight scan;
+// keys appended after the snapshot are not yielded, while a superseding
+// append to a snapshotted key may surface in its latest form (records
+// are read at yield time — see the Store contract). The journal's
+// records live in its in-memory index, so Scan never fails — the error
+// slot exists for backends that read from disk mid-iteration.
+func (j *Journal) Scan() iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		j.mu.Lock()
+		keys := make([]string, len(j.order))
+		copy(keys, j.order)
+		j.mu.Unlock()
+		for _, k := range keys {
+			j.mu.Lock()
+			rec := j.recs[k]
+			j.mu.Unlock()
+			if !yield(rec, nil) {
+				return
+			}
+		}
 	}
-	return out
 }
 
 // NormalizeAppend validates a record for appending and fills its derived
@@ -307,19 +307,9 @@ func (j *Journal) Close() error {
 // registered-format archive) file without opening it for writing — the
 // file is never created, repaired, or otherwise touched, so diff/report
 // tooling works on read-only artifacts. A torn trailing line is ignored,
-// as Open would truncate it.
+// as Open would truncate it. It is Collect over ScanFile: callers that
+// do not need the whole slice at once should range over ScanFile
+// directly.
 func LoadRecords(path string) ([]Record, error) {
-	if f := formatOf(path); f != nil {
-		recs, _, err := f.Load(path)
-		return recs, err
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("runstore: %w", err)
-	}
-	j := &Journal{path: path, recs: make(map[string]Record)}
-	if _, err := j.parse(data); err != nil {
-		return nil, fmt.Errorf("runstore: %s: %w", path, err)
-	}
-	return j.Records(), nil
+	return Collect(ScanFile(path))
 }

@@ -71,7 +71,10 @@ func TestJournalAppendLookupReopen(t *testing.T) {
 	if j2.Len() != 4 || j2.Torn() {
 		t.Errorf("reopen: Len = %d, Torn = %v", j2.Len(), j2.Torn())
 	}
-	recs := j2.Records()
+	recs, err := Collect(j2.Scan())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(recs) != 4 || recs[3].Responses["t"] != 99 {
 		t.Errorf("Records = %+v", recs)
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
 	"sort"
@@ -42,6 +43,13 @@ type MergeStats struct {
 // the same bytes a single-writer journal of the same run merges to.
 // Merging a single source therefore canonicalizes a journal in place.
 //
+// Merge streams: an index pass reduces each source to lightweight
+// entries (key, canonical position, measurement fingerprint, extent),
+// then the destination is written by k-way ordered iteration over the
+// per-source winner lists, decoding one record at a time.
+// Peak memory is the entry index, never the record set — merging two
+// 10^5-record files does not buffer 2x10^5 assignment/response maps.
+//
 // The write is atomic (temp file, fsync, rename) and the whole operation
 // is idempotent: merging a merged journal is a byte-identical no-op, and
 // Compact on a merged journal keeps every byte (a merge output already
@@ -52,135 +60,273 @@ type MergeStats struct {
 // sniffing, the destination by file extension, so journal→archive and
 // archive→journal conversions are merges like any other.
 func Merge(srcs []string, dst string) (MergeStats, error) {
+	return MergeChecked(srcs, dst, false)
+}
+
+// MergeChecked is Merge with an optional conflict gate: with
+// failOnConflict set, cross-source conflicts detected in the index pass
+// abort the merge before anything is written — the strict-conversion
+// path, which must not mask a divergent measurement inside a long-lived
+// artifact. The returned stats still carry the conflicts.
+func MergeChecked(srcs []string, dst string, failOnConflict bool) (MergeStats, error) {
 	if dst == "" {
 		return MergeStats{}, fmt.Errorf("runstore: merge needs a destination path")
 	}
-	recs, ms, err := MergeRecords(srcs)
+	plan, ms, err := planMerge(srcs)
 	if err != nil {
 		return ms, err
 	}
-	write := writeRecords
-	if f := formatForDst(dst); f != nil {
-		write = f.Write
+	defer plan.Close()
+	if failOnConflict && len(ms.Conflicts) > 0 {
+		return ms, fmt.Errorf("runstore: %d conflicting record(s) across sources; %s not written", len(ms.Conflicts), dst)
 	}
-	if err := write(dst, recs, srcs[0]); err != nil {
+	if f := formatForDst(dst); f != nil {
+		if err := f.Write(dst, plan.records(), srcs[0]); err != nil {
+			return ms, err
+		}
+		return ms, nil
+	}
+	if err := plan.writeJournal(dst, srcs[0]); err != nil {
 		return ms, err
 	}
 	return ms, nil
 }
 
-// MergeRecords is the in-memory half of Merge: it folds the sources into
-// one canonical last-wins record set without writing anything, so
-// converters (perfeval archive) can verify a written artifact against the
-// exact record set the merge produced.
+// MergeRecords is the materializing form of Merge: it folds the sources
+// into one canonical last-wins record slice without writing anything.
+// Use it only when the whole record set is genuinely needed at once
+// (verification against another artifact); Merge itself streams.
 func MergeRecords(srcs []string) ([]Record, MergeStats, error) {
+	plan, ms, err := planMerge(srcs)
+	if err != nil {
+		return nil, ms, err
+	}
+	defer plan.Close()
+	recs, err := Collect(plan.records())
+	if err != nil {
+		return nil, ms, err
+	}
+	return recs, ms, nil
+}
+
+// MergeScan streams the canonical merged view of srcs — the exact
+// record sequence Merge would write — without writing anything: the
+// same index pass, last-wins resolution, and k-way ordered iteration,
+// decoding one record at a time. Converters use it to verify a written
+// artifact against the merge that produced it without materializing
+// either side. Errors surface in the sequence and stop it.
+func MergeScan(srcs []string) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		plan, _, err := planMerge(srcs)
+		if err != nil {
+			yield(Record{}, err)
+			return
+		}
+		defer plan.Close()
+		for rec, err := range plan.records() {
+			if !yield(rec, err) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// mergeSource is one open merge input: its reader plus the canonically
+// sorted entries of the records it contributes to the output.
+type mergeSource struct {
+	path    string
+	r       SourceReader
+	winners []SourceEntry
+}
+
+// mergePlan is a prepared merge: every source indexed, global last-wins
+// resolved, per-source winner lists in canonical order. The readers stay
+// open so the write pass can fetch records by extent.
+type mergePlan struct {
+	sources []*mergeSource
+}
+
+// Close closes every source reader.
+func (p *mergePlan) Close() error {
+	var first error
+	for _, s := range p.sources {
+		if s.r == nil {
+			continue
+		}
+		if err := s.r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// planMerge runs the index pass: each source's entries are folded into a
+// global last-wins index (source order, then append order within a
+// source), measurement disagreements are reported as Conflicts, and the
+// surviving entries are handed back to their sources as canonically
+// sorted winner lists ready for k-way iteration.
+func planMerge(srcs []string) (*mergePlan, MergeStats, error) {
 	var ms MergeStats
 	if len(srcs) == 0 {
 		return nil, ms, fmt.Errorf("runstore: merge needs at least one source journal")
 	}
 	ms.Sources = len(srcs)
-	merged := make(map[string]Record)
-	from := make(map[string]string)
+	plan := &mergePlan{}
+	type winner struct {
+		src int
+		e   SourceEntry
+	}
+	global := make(map[string]winner)
 	total := 0
-	for _, src := range srcs {
-		srcRecs, info, err := loadSource(src)
+	for i, src := range srcs {
+		r, err := OpenSource(src)
 		if err != nil {
+			plan.Close()
 			return nil, ms, err
 		}
+		plan.sources = append(plan.sources, &mergeSource{path: src, r: r})
+		for e, eerr := range r.Entries() {
+			if eerr != nil {
+				plan.Close()
+				return nil, ms, eerr
+			}
+			k := e.Key()
+			// A same-source overwrite is an ordinary last-wins supersede,
+			// not a Conflict: only cross-source disagreement means two
+			// workers measured the same unit differently.
+			if prev, seen := global[k]; seen && prev.src != i && prev.e.Fp != e.Fp {
+				ms.Conflicts = append(ms.Conflicts, Conflict{
+					Key: k, Earlier: srcs[prev.src], Later: src,
+				})
+			}
+			global[k] = winner{src: i, e: e}
+		}
+		info := r.Info()
+		total += info.Records
 		if info.Torn {
 			ms.TornSources++
 		}
-		total += info.Records
-		for _, rec := range srcRecs {
-			// Canonicalize the key before folding: a hand-written record
-			// with no hash must dedupe against (and be stored as) the
-			// hash Append would have derived, in every destination format.
-			if rec.Hash == "" {
-				rec.Hash = AssignmentHash(rec.Assignment)
-			}
-			k := rec.Key()
-			if prev, seen := merged[k]; seen && !sameMeasurement(prev, rec) {
-				ms.Conflicts = append(ms.Conflicts, Conflict{Key: k, Earlier: from[k], Later: src})
-			}
-			merged[k] = rec
-			from[k] = src
-		}
 	}
-	recs := make([]Record, 0, len(merged))
-	for _, rec := range merged {
-		recs = append(recs, rec)
+	for _, w := range global {
+		s := plan.sources[w.src]
+		s.winners = append(s.winners, w.e)
 	}
-	sortCanonical(recs)
-	ms.Kept = len(recs)
-	ms.Superseded = total - len(recs)
-	return recs, ms, nil
+	for _, s := range plan.sources {
+		sort.Slice(s.winners, func(i, j int) bool {
+			return canonicalLess(s.winners[i], s.winners[j])
+		})
+	}
+	ms.Kept = len(global)
+	ms.Superseded = total - len(global)
+	return plan, ms, nil
 }
 
-// loadSource reads one merge source read-only: a registered-format
-// archive via its Load hook, anything else as a JSONL journal (torn
-// trailing lines dropped exactly as Open drops them).
-func loadSource(src string) ([]Record, Info, error) {
-	if f := formatOf(src); f != nil {
-		return f.Load(src)
-	}
-	data, err := os.ReadFile(src)
-	if err != nil {
-		return nil, Info{}, fmt.Errorf("runstore: %w", err)
-	}
-	j := &Journal{path: src, recs: make(map[string]Record)}
-	if _, err := j.parse(data); err != nil {
-		return nil, Info{}, fmt.Errorf("runstore: %s: %w", src, err)
-	}
-	return j.Records(), Info{Records: j.appended, Distinct: len(j.recs), Torn: j.torn}, nil
-}
-
-// sameMeasurement reports whether two records carry the same measurement:
-// identical assignment and responses. The informational Row field is
-// deliberately excluded — re-numbering a design must not read as a
-// conflicting measurement.
-func sameMeasurement(a, b Record) bool {
-	if len(a.Assignment) != len(b.Assignment) || len(a.Responses) != len(b.Responses) {
-		return false
-	}
-	for k, v := range a.Assignment {
-		if bv, ok := b.Assignment[k]; !ok || bv != v {
-			return false
-		}
-	}
-	for k, v := range a.Responses {
-		if bv, ok := b.Responses[k]; !ok || bv != v {
-			return false
-		}
-	}
-	return true
-}
-
-// sortCanonical orders records by (experiment, design row, replicate,
+// canonicalLess orders entries by (experiment, design row, replicate,
 // hash) — the order a single sequential run appends in, so merged
 // multi-writer journals and single-writer journals compare byte-for-byte
-// after canonicalization.
-func sortCanonical(recs []Record) {
-	sort.Slice(recs, func(i, j int) bool {
-		a, b := recs[i], recs[j]
-		if a.Experiment != b.Experiment {
-			return a.Experiment < b.Experiment
+// after canonicalization. After last-wins resolution no two winners
+// share all four fields, so the order is total.
+func canonicalLess(a, b SourceEntry) bool {
+	if a.Experiment != b.Experiment {
+		return a.Experiment < b.Experiment
+	}
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	if a.Replicate != b.Replicate {
+		return a.Replicate < b.Replicate
+	}
+	return a.Hash < b.Hash
+}
+
+// each iterates the plan's winners in canonical output order by k-way
+// ordered iteration over the per-source sorted winner lists: the source
+// whose head entry is canonically smallest yields next. Only cursor
+// state lives in memory; records are fetched by the caller one extent at
+// a time.
+func (p *mergePlan) each(fn func(s *mergeSource, e SourceEntry) error) error {
+	cursors := make([]int, len(p.sources))
+	for {
+		best := -1
+		for i, s := range p.sources {
+			if cursors[i] >= len(s.winners) {
+				continue
+			}
+			if best < 0 || canonicalLess(s.winners[cursors[i]], p.sources[best].winners[cursors[best]]) {
+				best = i
+			}
 		}
-		if a.Row != b.Row {
-			return a.Row < b.Row
+		if best < 0 {
+			return nil
 		}
-		if a.Replicate != b.Replicate {
-			return a.Replicate < b.Replicate
+		s := p.sources[best]
+		if err := fn(s, s.winners[cursors[best]]); err != nil {
+			return err
 		}
-		return a.Hash < b.Hash
+		cursors[best]++
+	}
+}
+
+// records adapts the k-way iteration to the record sequence shape
+// Format.Write consumes, decoding one record per step.
+func (p *mergePlan) records() iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		stop := fmt.Errorf("stop") // sentinel, never escapes
+		err := p.each(func(s *mergeSource, e SourceEntry) error {
+			rec, rerr := s.r.Read(e.Ext)
+			if rerr != nil {
+				return rerr
+			}
+			if !yield(rec, nil) {
+				return stop
+			}
+			return nil
+		})
+		if err != nil && err != stop {
+			yield(Record{}, err)
+		}
+	}
+}
+
+// writeJournal streams the plan's winners into a JSONL journal at dst,
+// decoding and re-marshaling one record at a time — every output line
+// is the canonical encoding regardless of how the source frame was
+// written, which is what makes "merging a single source canonicalizes
+// it" hold even for hand-edited journals.
+func (p *mergePlan) writeJournal(dst, modeFrom string) error {
+	return atomicWrite(dst, modeFrom, func(w *bufio.Writer) error {
+		return p.each(func(s *mergeSource, e SourceEntry) error {
+			return writeEntry(w, s.r, e)
+		})
 	})
 }
 
-// writeRecords atomically replaces dst with the given records, one JSON
-// line each: temp file in the target directory, single fsync, rename.
-// The file mode is copied from modeFrom when it exists (so rewriting a
-// journal in place never silently changes its permissions), 0644
-// otherwise. Compact and Merge share this path.
-func writeRecords(dst string, recs []Record, modeFrom string) error {
+// writeEntry writes one record's JSONL line from its source frame,
+// always via decode + canonical json.Marshal — never a verbatim byte
+// copy, so non-canonical source encodings (hand-edited lines, archive
+// payloads) normalize on the way through.
+func writeEntry(w *bufio.Writer, r SourceReader, e SourceEntry) error {
+	rec, err := r.Read(e.Ext)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	w.Write(line)
+	return w.WriteByte('\n')
+}
+
+// atomicWrite replaces dst with whatever emit writes: temp file in the
+// target directory, single fsync, rename. The file mode is copied from
+// modeFrom when it exists (so rewriting a journal in place never
+// silently changes its permissions), 0644 otherwise. Merge and Compact
+// share this path.
+func atomicWrite(dst, modeFrom string, emit func(w *bufio.Writer) error) error {
 	if dir := filepath.Dir(dst); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("runstore: %w", err)
@@ -199,15 +345,10 @@ func writeRecords(dst string, recs []Record, modeFrom string) error {
 		tmp.Close()
 		return fmt.Errorf("runstore: %w", err)
 	}
-	bw := bufio.NewWriter(tmp)
-	for _, rec := range recs {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			tmp.Close()
-			return fmt.Errorf("runstore: %w", err)
-		}
-		bw.Write(line)
-		bw.WriteByte('\n')
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	if err := emit(bw); err != nil {
+		tmp.Close()
+		return err
 	}
 	if err := bw.Flush(); err != nil {
 		tmp.Close()

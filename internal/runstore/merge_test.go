@@ -235,3 +235,35 @@ func TestInspect(t *testing.T) {
 		t.Error("Inspect of a missing file should error")
 	}
 }
+
+// TestMergeIntraSourceSupersedeIsNotAConflict pins the conflict
+// semantics to cross-source disagreement only: a key re-measured within
+// one source is an ordinary last-wins supersede, never a Conflict — a
+// strict merge of a perfectly ordinary journal must not abort.
+func TestMergeIntraSourceSupersedeIsNotAConflict(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.jsonl")
+	a := map[string]string{"f": "x"}
+	writeJournal(t, src,
+		rec("e", 0, 0, a, map[string]float64{"ms": 1}),
+		rec("e", 0, 0, a, map[string]float64{"ms": 2}), // re-measured: supersedes
+	)
+	out := filepath.Join(dir, "merged.jsonl")
+	ms, err := MergeChecked([]string{src}, out, true)
+	if err != nil {
+		t.Fatalf("strict merge of an ordinary superseding journal failed: %v", err)
+	}
+	if len(ms.Conflicts) != 0 {
+		t.Errorf("intra-source supersede reported as conflict: %+v", ms.Conflicts)
+	}
+	if ms.Kept != 1 || ms.Superseded != 1 {
+		t.Errorf("stats = %+v, want kept 1 superseded 1", ms)
+	}
+	got, err := LoadRecords(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Responses["ms"] != 2 {
+		t.Errorf("merged records = %+v, want the superseding value", got)
+	}
+}

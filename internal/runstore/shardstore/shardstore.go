@@ -2,6 +2,7 @@ package shardstore
 
 import (
 	"fmt"
+	"iter"
 	"path/filepath"
 
 	"repro/internal/runstore"
@@ -110,18 +111,25 @@ func (s *Store) ReplicateCount(experiment, hash string) int {
 	return j.ReplicateCount(experiment, hash)
 }
 
-// Records implements runstore.Store: every shard's records concatenated
-// in shard order (first-appended order within a shard). The order is
+// Scan implements runstore.Store: every shard's records streamed in
+// shard order (first-appended order within a shard). The order is
 // deterministic for a given store state but groups by shard, not by
-// design row — runstore.Merge is the canonical-order view.
-func (s *Store) Records() []runstore.Record {
-	var out []runstore.Record
-	for _, j := range s.files {
-		if j != nil {
-			out = append(out, j.Records()...)
+// design row — runstore.Merge is the canonical-order view. Each shard's
+// key set is snapshotted as the iteration reaches it, so concurrent
+// appends neither block nor corrupt an in-flight scan.
+func (s *Store) Scan() iter.Seq2[runstore.Record, error] {
+	return func(yield func(runstore.Record, error) bool) {
+		for _, j := range s.files {
+			if j == nil {
+				continue
+			}
+			for rec, err := range j.Scan() {
+				if !yield(rec, err) {
+					return
+				}
+			}
 		}
 	}
-	return out
 }
 
 // Append implements runstore.Store, routing the record to its shard by

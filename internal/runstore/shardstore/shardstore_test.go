@@ -62,8 +62,12 @@ func TestFanOutAndMergedView(t *testing.T) {
 			t.Errorf("ReplicateCount(%s) = %d, want 2", r.Hash, n)
 		}
 	}
-	if got := len(s.Records()); got != len(recs) {
-		t.Errorf("Records() = %d entries, want %d", got, len(recs))
+	scanned, err := runstore.Collect(s.Scan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(scanned); got != len(recs) {
+		t.Errorf("Scan = %d entries, want %d", got, len(recs))
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)

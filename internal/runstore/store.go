@@ -1,18 +1,18 @@
 package runstore
 
 import (
-	"fmt"
 	"hash/fnv"
-	"os"
+	"iter"
 )
 
 // Store is the persistence interface the scheduler (internal/sched)
 // executes against: lookup and warm-start reads, durable appends, and a
-// deterministic full-record view. *Journal — the single-file JSONL
-// backend — is the reference implementation; shardstore (a sharded
-// directory of journals) is the scale-out one, and future backends (a
-// result database for million-run archives, a remote-worker feed) plug
-// in behind the same five methods without touching the scheduler.
+// deterministic streaming view of every record. *Journal — the
+// single-file JSONL backend — is the reference implementation;
+// shardstore (a sharded directory of journals) is the scale-out one and
+// archivestore (a block-indexed single file) the million-run one. Future
+// backends (a remote-worker collector feed) plug in behind the same five
+// methods without touching the scheduler.
 //
 // Contract notes for implementors:
 //   - Lookup and ReplicateCount must serve the last-wins view of every
@@ -20,7 +20,16 @@ import (
 //     on open.
 //   - Append must be durable before it returns: a crash immediately after
 //     a successful Append must not lose the record.
-//   - Records must be deterministic for a given store state.
+//   - Scan must be deterministic for a given store state, must never
+//     materialize the full record set (hand records to the consumer one
+//     at a time), and must tolerate a concurrent Append: the iteration
+//     walks a snapshot of the KEY SET present when it started, without
+//     blocking writers for its whole duration. Keys appended later are
+//     not yielded; each key's record is read at yield time, so a
+//     superseding append that lands mid-scan may surface in its latest
+//     form — value-level point-in-time isolation is not promised. A
+//     read failure mid-iteration is yielded as the error, after which
+//     the sequence stops.
 //   - All methods must be safe for concurrent use.
 type Store interface {
 	// Lookup returns the stored record for one unit, if present.
@@ -28,9 +37,10 @@ type Store interface {
 	// ReplicateCount returns how many contiguous replicates (0..n-1) of
 	// one cell the store holds — the warm-start budget already spent.
 	ReplicateCount(experiment, hash string) int
-	// Records returns all distinct records in the store's deterministic
-	// order.
-	Records() []Record
+	// Scan streams all distinct records in the store's deterministic
+	// order, one at a time. Use runstore.Collect at the few sites that
+	// truly need the whole slice.
+	Scan() iter.Seq2[Record, error]
 	// Append validates, persists, and indexes one record.
 	Append(Record) error
 	// Close releases the store's resources; reads may keep serving the
@@ -68,18 +78,23 @@ type Info struct {
 // and reports its shape — the status probe behind `perfeval inspect` and
 // `perfeval shard-plan`. A torn or truncated tail is detected and
 // reported via Info.Torn, never silently repaired or silently counted
-// past; a corrupt interior journal line is an error.
+// past; a corrupt interior journal line is an error. The journal path
+// goes through the same streaming scan (and so the same framing and
+// torn-tail rule) that Open and every other reader use; registered
+// formats report richer Detail through their own Inspect hook.
 func Inspect(path string) (Info, error) {
 	if f := formatOf(path); f != nil {
 		return f.Inspect(path)
 	}
-	data, err := os.ReadFile(path)
+	r, err := openJournalReader(path)
 	if err != nil {
-		return Info{}, fmt.Errorf("runstore: %w", err)
+		return Info{}, err
 	}
-	j := &Journal{path: path, recs: make(map[string]Record)}
-	if _, err := j.parse(data); err != nil {
-		return Info{}, fmt.Errorf("runstore: %s: %w", path, err)
+	defer r.Close()
+	for _, err := range r.Entries() {
+		if err != nil {
+			return Info{}, err
+		}
 	}
-	return Info{Records: j.appended, Distinct: len(j.recs), Torn: j.torn}, nil
+	return r.Info(), nil
 }

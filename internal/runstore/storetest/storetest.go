@@ -55,6 +55,18 @@ func mkRecord(exp string, row, rep int, val float64) runstore.Record {
 
 func hashOf(r runstore.Record) string { return runstore.AssignmentHash(r.Assignment) }
 
+// records drains a store's Scan into a slice, failing the test on a
+// yielded error — the materializing convenience the assertions below
+// use where they genuinely need the whole view.
+func records(t *testing.T, s runstore.Store) []runstore.Record {
+	t.Helper()
+	recs, err := runstore.Collect(s.Scan())
+	if err != nil {
+		t.Fatalf("Scan yielded an error: %v", err)
+	}
+	return recs
+}
+
 // Run drives the full Store conformance suite against one backend.
 func Run(t *testing.T, b Backend) {
 	t.Run("EmptyStore", func(t *testing.T) {
@@ -66,8 +78,8 @@ func Run(t *testing.T, b Backend) {
 		if n := s.ReplicateCount("e", "deadbeef"); n != 0 {
 			t.Fatalf("empty store ReplicateCount = %d", n)
 		}
-		if recs := s.Records(); len(recs) != 0 {
-			t.Fatalf("empty store Records has %d entries", len(recs))
+		if recs := records(t, s); len(recs) != 0 {
+			t.Fatalf("empty store Scan yields %d entries", len(recs))
 		}
 	})
 
@@ -119,7 +131,7 @@ func Run(t *testing.T, b Backend) {
 			t.Fatalf("Lookup = %v ok=%v, want the superseding record", got.Responses, ok)
 		}
 		distinct := 0
-		for _, r := range s.Records() {
+		for _, r := range records(t, s) {
 			if r.Experiment == "e" {
 				distinct++
 			}
@@ -152,16 +164,16 @@ func Run(t *testing.T, b Backend) {
 				t.Fatal(err)
 			}
 		}
-		first := keysOf(s.Records())
-		second := keysOf(s.Records())
+		first := keysOf(records(t, s))
+		second := keysOf(records(t, s))
 		if !equalKeys(first, second) {
 			t.Fatalf("Records not deterministic: %v vs %v", first, second)
 		}
 		s.Close()
 		r := b.Open(t, dir)
 		defer r.Close()
-		if got := keysOf(r.Records()); !equalKeys(first, got) {
-			t.Fatalf("Records changed across reopen: %v vs %v", first, got)
+		if got := keysOf(records(t, r)); !equalKeys(first, got) {
+			t.Fatalf("Scan order changed across reopen: %v vs %v", first, got)
 		}
 	})
 
@@ -181,7 +193,7 @@ func Run(t *testing.T, b Backend) {
 		if err := s.Append(nan); err == nil {
 			t.Fatal("append with a NaN response succeeded")
 		}
-		if len(s.Records()) != 0 {
+		if len(records(t, s)) != 0 {
 			t.Fatal("rejected appends left records behind")
 		}
 	})
@@ -242,8 +254,8 @@ func Run(t *testing.T, b Backend) {
 			}(w)
 		}
 		wg.Wait()
-		if len(s.Records()) != workers*reps {
-			t.Fatalf("Records holds %d, want %d", len(s.Records()), workers*reps)
+		if got := len(records(t, s)); got != workers*reps {
+			t.Fatalf("Scan holds %d, want %d", got, workers*reps)
 		}
 	})
 
@@ -273,11 +285,110 @@ func Run(t *testing.T, b Backend) {
 		// every durable append present, the torn suffix gone, and the
 		// store writable again.
 		assertHolds(t, r, want, "post-crash reopen")
-		if got := len(r.Records()); got != len(want) {
-			t.Fatalf("post-crash Records holds %d, want exactly %d", got, len(want))
+		if got := len(records(t, r)); got != len(want) {
+			t.Fatalf("post-crash Scan holds %d, want exactly %d", got, len(want))
 		}
 		if err := r.Append(mkRecord("e", 9, 0, 1)); err != nil {
 			t.Fatalf("append after crash recovery: %v", err)
+		}
+	})
+
+	t.Run("ScanDeterministicOrder", func(t *testing.T) {
+		// Two consecutive scans of a quiescent store must yield the same
+		// keys in the same order, record by record, with no errors.
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		for row := 0; row < 6; row++ {
+			for rep := 0; rep < 2; rep++ {
+				if err := s.Append(mkRecord("e", row, rep, float64(row*10+rep))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		first := keysOf(records(t, s))
+		if len(first) != 12 {
+			t.Fatalf("Scan yields %d records, want 12", len(first))
+		}
+		if !equalKeys(first, keysOf(records(t, s))) {
+			t.Fatal("two scans of a quiescent store disagree")
+		}
+	})
+
+	t.Run("ScanEarlyBreak", func(t *testing.T) {
+		// A consumer that stops early must not deadlock the store or leak
+		// its iteration: the store stays fully usable afterwards.
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		for row := 0; row < 5; row++ {
+			if err := s.Append(mkRecord("e", row, 0, float64(row))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := 0
+		for _, err := range s.Scan() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			if n == 2 {
+				break
+			}
+		}
+		if err := s.Append(mkRecord("e", 9, 0, 1)); err != nil {
+			t.Fatalf("append after an abandoned scan: %v", err)
+		}
+		if got := len(records(t, s)); got != 6 {
+			t.Fatalf("store holds %d records after early break + append, want 6", got)
+		}
+	})
+
+	t.Run("ScanDuringAppend", func(t *testing.T) {
+		// Appending mid-iteration must neither block nor corrupt the scan:
+		// every record present when the scan started is yielded intact,
+		// and the append lands durably.
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		const preload = 8
+		for row := 0; row < preload; row++ {
+			if err := s.Append(mkRecord("e", row, 0, float64(row))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seen := 0
+		for rec, err := range s.Scan() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Experiment != "e" {
+				t.Fatalf("scan yielded foreign record %+v", rec)
+			}
+			if seen == 2 {
+				if err := s.Append(mkRecord("e", preload, 0, 99)); err != nil {
+					t.Fatalf("append during scan: %v", err)
+				}
+			}
+			seen++
+		}
+		if seen < preload {
+			t.Fatalf("scan yielded %d records, want at least the %d present at start", seen, preload)
+		}
+		if _, ok := s.Lookup("e", hashOf(mkRecord("e", preload, 0, 99)), 0); !ok {
+			t.Fatal("record appended during scan not indexed")
+		}
+	})
+
+	t.Run("ScanErrorPropagation", func(t *testing.T) {
+		// The error slot of the sequence is part of the contract: a
+		// healthy store yields none, and Collect surfaces the first one.
+		// Backends whose Scan reads from disk mid-iteration additionally
+		// cover real read failures in their own tests.
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		if err := s.Append(mkRecord("e", 0, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runstore.Collect(s.Scan()); err != nil {
+			t.Fatalf("healthy store Scan yielded error: %v", err)
 		}
 	})
 }

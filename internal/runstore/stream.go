@@ -1,0 +1,329 @@
+package runstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"iter"
+	"math"
+	"os"
+	"sort"
+)
+
+// Extent locates one record's encoded bytes inside a store file, in the
+// file's own framing (a JSONL line, an archive record block). Extents are
+// only meaningful to the SourceReader that yielded them.
+type Extent struct {
+	Off int64 // byte offset of the record's frame
+	Len int64 // frame length in bytes
+}
+
+// SourceEntry is the lightweight per-record metadata a streaming index
+// pass yields: enough to key, order canonically, and compare
+// measurements without retaining the decoded record. The decoded record
+// itself (its assignment and response maps) is transient — that is the
+// point of the streaming contract.
+type SourceEntry struct {
+	Experiment string
+	Hash       string
+	Replicate  int
+	Row        int
+	// Fp fingerprints the measurement (assignment + responses, Row
+	// excluded) so superseding appends that changed the measurement are
+	// detectable without re-reading either record.
+	Fp  uint64
+	Ext Extent
+}
+
+// Key returns the entry's runstore lookup key.
+func (e SourceEntry) Key() string { return Key(e.Experiment, e.Hash, e.Replicate) }
+
+// SourceReader is the streaming, random-access view of one store file
+// that Merge, Compact, LoadRecords, and Inspect consume. Entries makes
+// one forward pass in file order, decoding each record transiently;
+// Read decodes a single record by the extent Entries yielded for it.
+// Implementations exist for the JSONL journal (here) and for every
+// registered Format (Format.OpenReader); OpenSource dispatches.
+type SourceReader interface {
+	// Entries iterates every record in file order — superseded records
+	// included — as lightweight entries. A torn trailing frame ends the
+	// iteration without error (Info reports it); a corrupt interior
+	// frame yields the error and stops.
+	Entries() iter.Seq2[SourceEntry, error]
+	// Read decodes the record at ext, which must have been yielded by
+	// Entries on this reader.
+	Read(ext Extent) (Record, error)
+	// Info reports the file's shape. Records/Torn are complete only
+	// after Entries has been fully consumed.
+	Info() Info
+	// Close releases the reader's file handle.
+	Close() error
+}
+
+// OpenSource opens the store file at path for streaming read-only
+// access, dispatching registered formats by content sniffing and
+// falling back to the JSONL journal. The file is never created,
+// repaired, or truncated.
+func OpenSource(path string) (SourceReader, error) {
+	if f := formatOf(path); f != nil {
+		return f.OpenReader(path)
+	}
+	return openJournalReader(path)
+}
+
+// Fingerprint hashes a record's measurement — its assignment and
+// responses, with the informational Row field deliberately excluded, so
+// a re-numbered design never reads as a conflicting measurement. Two
+// records with equal assignments and responses fingerprint identically.
+func Fingerprint(rec Record) uint64 {
+	h := fnv.New64a()
+	keys := make([]string, 0, len(rec.Assignment))
+	for k := range rec.Assignment {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		h.Write([]byte(rec.Assignment[k]))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte{1})
+	keys = keys[:0]
+	for k := range rec.Responses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf [8]byte
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		v := rec.Responses[k]
+		if v == 0 {
+			v = 0 // fold -0 into +0: they compare equal as measurements
+		}
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// entryOf builds the index entry for one decoded record.
+func entryOf(rec Record, ext Extent) SourceEntry {
+	return SourceEntry{
+		Experiment: rec.Experiment,
+		Hash:       rec.Hash,
+		Replicate:  rec.Replicate,
+		Row:        rec.Row,
+		Fp:         Fingerprint(rec),
+		Ext:        ext,
+	}
+}
+
+// Collect materializes a record sequence into a slice, stopping at the
+// first error. It is the bridge for the few true-materialization sites
+// (summaries, gates, verification); everything else should consume the
+// sequence incrementally.
+func Collect(seq iter.Seq2[Record, error]) ([]Record, error) {
+	var out []Record
+	for rec, err := range seq {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Seq adapts a record slice to the streaming sequence shape consumed by
+// Format.Write and friends.
+func Seq(recs []Record) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		for _, rec := range recs {
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}
+
+// scanJournal is the one implementation of the journal's line framing
+// and torn-tail rule, shared by Journal.Open, the streaming reader, and
+// through them Inspect, LoadRecords, Merge, and Compact. It reads r
+// line by line, fully decoding each record and calling fn with the
+// decoded record and the line's extent.
+// It returns the byte offset up to which the input is intact: a final
+// unterminated line that does not decode is a torn crash tail
+// (torn=true, everything before it kept); a corrupt terminated line
+// anywhere is an error, because silently skipping complete records
+// would turn resume into silent re-execution.
+func scanJournal(r io.Reader, fn func(rec Record, ext Extent) error) (keep int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var off int64
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			// A real read failure (failing disk, vanished NFS mount) must
+			// surface as an error, never masquerade as a torn crash tail —
+			// a rewriting consumer would otherwise silently drop the
+			// unread remainder of the file.
+			return 0, false, fmt.Errorf("runstore: %w", rerr)
+		}
+		if len(line) == 0 {
+			return off, false, nil // clean EOF at a line boundary
+		}
+		terminated := rerr == nil
+		raw := line
+		if terminated {
+			raw = line[:len(line)-1]
+		}
+		next := off + int64(len(line))
+		if trimmed := bytes.TrimSpace(raw); len(trimmed) > 0 {
+			var rec Record
+			if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
+				if !terminated { // torn final append from a crash
+					return off, true, nil
+				}
+				return 0, false, fmt.Errorf("corrupt journal line at byte %d: %v", off, uerr)
+			}
+			if ferr := fn(rec, Extent{Off: off, Len: int64(len(raw))}); ferr != nil {
+				return 0, false, ferr
+			}
+		}
+		if rerr == io.EOF {
+			return next, false, nil
+		}
+		off = next
+	}
+}
+
+// journalReader is the JSONL SourceReader.
+type journalReader struct {
+	path string
+	f    *os.File
+	info Info
+}
+
+func openJournalReader(path string) (*journalReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	return &journalReader{path: path, f: f}, nil
+}
+
+// Entries implements SourceReader, scanning the journal from the start.
+// It may be consumed more than once; each call re-reads the file.
+func (r *journalReader) Entries() iter.Seq2[SourceEntry, error] {
+	return func(yield func(SourceEntry, error) bool) {
+		if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+			yield(SourceEntry{}, fmt.Errorf("runstore: %w", err))
+			return
+		}
+		records, distinct := 0, make(map[string]struct{})
+		stop := fmt.Errorf("runstore: iteration stopped") // sentinel, never escapes
+		_, torn, err := scanJournal(r.f, func(rec Record, ext Extent) error {
+			// Canonicalize before indexing: a hand-written record with no
+			// hash must key (and dedupe) as the hash Append would derive.
+			if rec.Hash == "" {
+				rec.Hash = AssignmentHash(rec.Assignment)
+			}
+			records++
+			e := entryOf(rec, ext)
+			distinct[e.Key()] = struct{}{}
+			if !yield(e, nil) {
+				return stop
+			}
+			return nil
+		})
+		if err == stop {
+			return
+		}
+		if err != nil {
+			yield(SourceEntry{}, fmt.Errorf("runstore: %s: %w", r.path, err))
+			return
+		}
+		r.info = Info{Records: records, Distinct: len(distinct), Torn: torn}
+	}
+}
+
+// Read implements SourceReader with one positioned read of the line.
+func (r *journalReader) Read(ext Extent) (Record, error) {
+	raw := make([]byte, ext.Len)
+	if _, err := r.f.ReadAt(raw, ext.Off); err != nil {
+		return Record{}, fmt.Errorf("runstore: %s: reading record at byte %d: %w", r.path, ext.Off, err)
+	}
+	var rec Record
+	if err := json.Unmarshal(bytes.TrimSpace(raw), &rec); err != nil {
+		return Record{}, fmt.Errorf("runstore: %s: record at byte %d: %w", r.path, ext.Off, err)
+	}
+	if rec.Hash == "" {
+		rec.Hash = AssignmentHash(rec.Assignment)
+	}
+	return rec, nil
+}
+
+// Info implements SourceReader; complete after Entries is consumed.
+func (r *journalReader) Info() Info { return r.info }
+
+// Close implements SourceReader.
+func (r *journalReader) Close() error { return r.f.Close() }
+
+// ScanFile streams the distinct last-wins records of a store file —
+// journal or registered-format archive — in the file's deterministic
+// first-appended order, without materializing the record set: an index
+// pass sizes the winners, then records decode one at a time. The file
+// is opened read-only and never repaired; a torn trailing frame is
+// dropped exactly as Open would drop it. Errors (unreadable file,
+// corrupt interior frame) surface in the sequence; iteration stops at
+// the first one.
+func ScanFile(path string) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		r, err := OpenSource(path)
+		if err != nil {
+			yield(Record{}, err)
+			return
+		}
+		defer r.Close()
+		idx, order, _, err := indexEntries(r)
+		if err != nil {
+			yield(Record{}, err)
+			return
+		}
+		for _, k := range order {
+			rec, err := r.Read(idx[k].Ext)
+			if err != nil {
+				yield(Record{}, err)
+				return
+			}
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}
+
+// indexEntries consumes a reader's Entries into a last-wins index plus
+// the first-appended key order — the in-memory shape Open's journal
+// index has, at entry rather than record cost.
+func indexEntries(r SourceReader) (idx map[string]SourceEntry, order []string, records int, err error) {
+	idx = make(map[string]SourceEntry)
+	for e, eerr := range r.Entries() {
+		if eerr != nil {
+			return nil, nil, 0, eerr
+		}
+		records++
+		k := e.Key()
+		if _, seen := idx[k]; !seen {
+			order = append(order, k)
+		}
+		idx[k] = e
+	}
+	return idx, order, records, nil
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -54,7 +55,7 @@ func TestAdaptiveEquivalence(t *testing.T) {
 	fixedDir, adaptDir := t.TempDir(), t.TempDir()
 
 	fixed := New(Options{Workers: 1, JournalDir: fixedDir})
-	fixedRS, err := fixed.Execute(newExperiment(t, reps, nil))
+	fixedRS, err := fixed.Execute(context.Background(), newExperiment(t, reps, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestAdaptiveEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	adapt := New(Options{Workers: 1, JournalDir: adaptDir, Controller: ctrl})
-	adaptRS, err := adapt.Execute(newExperiment(t, reps, nil))
+	adaptRS, err := adapt.Execute(context.Background(), newExperiment(t, reps, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestAdaptiveSavesReplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(Options{Workers: 4, Controller: ctrl})
-	rs, err := s.Execute(mixedVariance(t, fixedReps))
+	rs, err := s.Execute(context.Background(), mixedVariance(t, fixedReps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestAdaptiveWarmStartKeepsBudget(t *testing.T) {
 		return ctrl
 	}
 	s1 := New(Options{Workers: 4, JournalDir: dir, Controller: newCtrl()})
-	rs1, err := s1.Execute(mixedVariance(t, 40))
+	rs1, err := s1.Execute(context.Background(), mixedVariance(t, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestAdaptiveWarmStartKeepsBudget(t *testing.T) {
 	e2 := mixedVariance(t, 40)
 	e2.Run = counted
 	s2 := New(Options{Workers: 4, JournalDir: dir, Controller: newCtrl()})
-	rs2, err := s2.Execute(e2)
+	rs2, err := s2.Execute(context.Background(), e2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestAdaptivePrioritySchedulesFlaggedFirst(t *testing.T) {
 	e := mixedVariance(t, 4)
 	e.Run = run
 	s := New(Options{Workers: 1, Controller: ctrl})
-	if _, err := s.Execute(e); err != nil {
+	if _, err := s.Execute(context.Background(), e); err != nil {
 		t.Fatal(err)
 	}
 	if len(order) < 4 {
@@ -273,7 +274,7 @@ func TestAdaptiveRetriesAndErrors(t *testing.T) {
 	e := mixedVariance(t, 4)
 	e.Run = flaky
 	s := New(Options{Workers: 2, Retries: 1, Controller: newCtrl()})
-	if _, err := s.Execute(e); err != nil {
+	if _, err := s.Execute(context.Background(), e); err != nil {
 		t.Fatalf("one retry should absorb the single failure: %v", err)
 	}
 	if st := s.LastStats(); st.Retried != 1 {
@@ -286,7 +287,7 @@ func TestAdaptiveRetriesAndErrors(t *testing.T) {
 	e2 := mixedVariance(t, 4)
 	e2.Run = always
 	s2 := New(Options{Workers: 2, Retries: 1, Controller: newCtrl()})
-	if _, err := s2.Execute(e2); err == nil {
+	if _, err := s2.Execute(context.Background(), e2); err == nil {
 		t.Error("permanent failure should abort the adaptive run")
 	} else if !strings.Contains(err.Error(), "attempts") {
 		t.Errorf("error should mention attempts: %v", err)

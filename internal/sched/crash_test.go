@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -46,7 +47,7 @@ func TestCrashChild(t *testing.T) {
 		return deterministicRunner(a, rep)
 	}
 	s := New(Options{Workers: 1, JournalDir: dir})
-	s.Execute(newExperiment(t, 3, run))
+	s.Execute(context.Background(), newExperiment(t, 3, run))
 	t.Fatal("child should have died mid-run")
 }
 
@@ -81,7 +82,11 @@ func TestChildProcessCrashResume(t *testing.T) {
 		t.Errorf("journal holds %d complete units, want 4", j.Len())
 	}
 	journaled := map[string]bool{}
-	for _, rec := range j.Records() {
+	recs, err := runstore.Collect(j.Scan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
 		journaled[fmt.Sprintf("%s/%d", rec.Hash, rec.Replicate)] = true
 	}
 	j.Close()
@@ -97,7 +102,7 @@ func TestChildProcessCrashResume(t *testing.T) {
 		return deterministicRunner(a, rep)
 	}
 	s := New(Options{Workers: 4, JournalDir: dir})
-	resumed, err := s.Execute(newExperiment(t, 3, counting))
+	resumed, err := s.Execute(context.Background(), newExperiment(t, 3, counting))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +120,7 @@ func TestChildProcessCrashResume(t *testing.T) {
 	}
 
 	// The resumed run is indistinguishable from one that never crashed.
-	cold, err := harness.Sequential{}.Execute(newExperiment(t, 3, nil))
+	cold, err := harness.Sequential{}.Execute(context.Background(), newExperiment(t, 3, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,9 @@
 // so replication is spent where variance demands it.
 //
 // The scheduler implements harness.Executor, so it plugs into the
-// package-level harness.Execute via harness.SetDefaultExecutor. It is an
+// package-level harness.Execute — scoped to one run via
+// harness.WithExecutor (how the public repro package binds it), or
+// process-wide via harness.SetDefaultExecutor. It is an
 // opt-in: the sequential executor remains the default because concurrent
 // execution on one machine perturbs time measurements — use the
 // scheduler for simulation-backed or I/O-bound experiments, for
@@ -22,6 +24,12 @@
 // write disjoint result slots. A timed-out unit's goroutine is
 // abandoned, never joined — see Options.Timeout for the full
 // abandonment contract.
+//
+// Cancellation contract: Execute takes a context; once it is done the
+// scheduler stops feeding work, drains in-flight units (each journaled
+// as it completes), waits for every worker to exit, and returns the
+// context error. The store is always left valid and warm-startable —
+// an interrupted run resumes by re-running with the same store.
 //
 // Durability contract: the scheduler owns none itself; it delegates to
 // whatever runstore.Store it runs against (Options.Store, or a

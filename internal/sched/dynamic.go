@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -86,7 +87,7 @@ func declaredResponses(e *harness.Experiment, resp map[string]float64) map[strin
 // replicates replay from the journal and count against the budget.
 // Retry, timeout, journaling, and design-ordered result assembly all
 // behave exactly as on the fixed path.
-func (s *Scheduler) executeDynamic(e *harness.Experiment, journal runstore.Store, ctrl Controller) (*harness.ResultSet, error) {
+func (s *Scheduler) executeDynamic(ctx context.Context, e *harness.Experiment, journal runstore.Store, ctrl Controller) (*harness.ResultSet, error) {
 	rows := e.Design.NumRuns()
 	cells := make([]*cellState, rows)
 	var stats Stats
@@ -149,7 +150,7 @@ func (s *Scheduler) executeDynamic(e *harness.Experiment, journal runstore.Store
 		}
 	}
 
-	if err := s.runDynamicPool(e, journal, ctrl, cells, queue, &stats); err != nil {
+	if err := s.runDynamicPool(ctx, e, journal, ctrl, cells, queue, &stats); err != nil {
 		return nil, err
 	}
 
@@ -177,8 +178,12 @@ func (s *Scheduler) executeDynamic(e *harness.Experiment, journal runstore.Store
 // the fixed pool there is no up-front work list: a single dispatcher
 // goroutine (this one) owns the queue, the cell states, and every
 // controller call at a batch boundary, so no lock is needed on any of
-// them; workers only execute units and journal them.
-func (s *Scheduler) runDynamicPool(e *harness.Experiment, journal runstore.Store, ctrl Controller, cells []*cellState, queue []unit, stats *Stats) error {
+// them; workers only execute units and journal them. A done context
+// stops work generation at the next dispatch boundary: the queue is
+// dropped, in-flight units drain (journaled as they complete), and the
+// context error is returned — the journal stays valid and
+// warm-startable, holding exactly the completed units.
+func (s *Scheduler) runDynamicPool(ctx context.Context, e *harness.Experiment, journal runstore.Store, ctrl Controller, cells []*cellState, queue []unit, stats *Stats) error {
 	if len(queue) == 0 {
 		return nil
 	}
@@ -195,7 +200,7 @@ func (s *Scheduler) runDynamicPool(e *harness.Experiment, journal runstore.Store
 	for w := 0; w < workers; w++ {
 		go func() {
 			for u := range jobs {
-				resp, retried, err := s.runWithRetry(e, u)
+				resp, retried, err := s.runWithRetry(ctx, e, u)
 				if err == nil && journal != nil {
 					err = journal.Append(runstore.Record{
 						Experiment: e.Name,
@@ -213,15 +218,23 @@ func (s *Scheduler) runDynamicPool(e *harness.Experiment, journal runstore.Store
 	defer close(jobs)
 
 	var firstErr error
+	canceled := false
+	ctxDone := ctx.Done()
 	inflight := 0
-	for inflight > 0 || (firstErr == nil && len(queue) > 0) {
+	for inflight > 0 || (firstErr == nil && !canceled && len(queue) > 0) {
 		var feed chan unit
 		var next unit
-		if firstErr == nil && len(queue) > 0 {
+		if firstErr == nil && !canceled && len(queue) > 0 {
 			feed = jobs
 			next = queue[0]
 		}
 		select {
+		case <-ctxDone:
+			// Disarm so the drain below blocks on completions instead of
+			// spinning on the already-closed done channel.
+			ctxDone = nil
+			canceled = true
+			queue = nil // stop generating work, drain what is in flight
 		case feed <- next:
 			queue = queue[1:]
 			inflight++
@@ -229,6 +242,12 @@ func (s *Scheduler) runDynamicPool(e *harness.Experiment, journal runstore.Store
 			inflight--
 			stats.Retried += out.retried
 			if out.err != nil {
+				if ctx.Err() != nil {
+					// An attempt abandoned by cancellation is not a unit
+					// failure; the drain below reports the interruption.
+					canceled, queue = true, nil
+					continue
+				}
 				if firstErr == nil {
 					firstErr = out.err
 					queue = nil // stop generating work, drain what is in flight
@@ -265,6 +284,9 @@ func (s *Scheduler) runDynamicPool(e *harness.Experiment, journal runstore.Store
 	}
 	if firstErr != nil {
 		return firstErr
+	}
+	if canceled || ctx.Err() != nil {
+		return fmt.Errorf("sched: %s interrupted: %w (journal holds every completed unit; re-run to resume)", e.Name, context.Cause(ctx))
 	}
 	for _, c := range cells {
 		if c.completed == 0 {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -49,7 +50,7 @@ func TestTimeoutAbandonmentDoesNotLeakOrCorrupt(t *testing.T) {
 	}
 
 	s := New(Options{Workers: 4, Timeout: 25 * time.Millisecond, JournalDir: dir})
-	_, err := s.Execute(newExperiment(t, 2, blocking))
+	_, err := s.Execute(context.Background(), newExperiment(t, 2, blocking))
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("want timeout error, got %v", err)
 	}
@@ -73,7 +74,11 @@ func TestTimeoutAbandonmentDoesNotLeakOrCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	journaled := j.Len()
-	for _, rec := range j.Records() {
+	recs, err := runstore.Collect(j.Scan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
 		if rec.Assignment["memory"] == "16MB" {
 			t.Errorf("abandoned unit %s/%d reached the journal", rec.Hash, rec.Replicate)
 		}
@@ -84,7 +89,7 @@ func TestTimeoutAbandonmentDoesNotLeakOrCorrupt(t *testing.T) {
 	// exactly the journaled fast units, execute the rest, and publish
 	// consistent stats — the abandoned attempts corrupted nothing.
 	s2 := New(Options{Workers: 4, Timeout: time.Second, JournalDir: dir})
-	rs, err := s2.Execute(newExperiment(t, 2, nil))
+	rs, err := s2.Execute(context.Background(), newExperiment(t, 2, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +97,7 @@ func TestTimeoutAbandonmentDoesNotLeakOrCorrupt(t *testing.T) {
 	if st.Replayed != journaled || st.Executed != st.Units-journaled {
 		t.Errorf("resume stats = %+v, want %d replayed of %d", st, journaled, st.Units)
 	}
-	cold, err := New(Options{Workers: 1}).Execute(newExperiment(t, 2, nil))
+	cold, err := New(Options{Workers: 1}).Execute(context.Background(), newExperiment(t, 2, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +125,7 @@ func TestAdaptiveTimeoutDoesNotLeak(t *testing.T) {
 	e := mixedVariance(t, 8)
 	e.Run = blocking
 	s := New(Options{Workers: 4, Timeout: 25 * time.Millisecond, Controller: ctrl})
-	if _, err := s.Execute(e); err == nil || !strings.Contains(err.Error(), "timed out") {
+	if _, err := s.Execute(context.Background(), e); err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("want timeout error, got %v", err)
 	}
 	close(release)

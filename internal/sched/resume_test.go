@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -31,7 +32,7 @@ func TestCrashResume(t *testing.T) {
 		return deterministicRunner(a, rep)
 	}
 	s1 := New(Options{Workers: 2, JournalDir: dir})
-	if _, err := s1.Execute(newExperiment(t, reps, crashing)); err == nil {
+	if _, err := s1.Execute(context.Background(), newExperiment(t, reps, crashing)); err == nil {
 		t.Fatal("pass 1 should fail")
 	}
 
@@ -41,7 +42,11 @@ func TestCrashResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	journaled := map[string]bool{}
-	for _, rec := range j.Records() {
+	recs, err := runstore.Collect(j.Scan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
 		journaled[fmt.Sprintf("%s/%d", rec.Hash, rec.Replicate)] = true
 	}
 	path := j.Path()
@@ -74,7 +79,7 @@ func TestCrashResume(t *testing.T) {
 		return deterministicRunner(a, rep)
 	}
 	s2 := New(Options{Workers: 4, JournalDir: dir})
-	resumed, err := s2.Execute(newExperiment(t, reps, healthy))
+	resumed, err := s2.Execute(context.Background(), newExperiment(t, reps, healthy))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +103,7 @@ func TestCrashResume(t *testing.T) {
 
 	// The resumed ResultSet must be byte-identical to a cold sequential
 	// run of the same experiment.
-	cold, err := harness.Sequential{}.Execute(newExperiment(t, reps, nil))
+	cold, err := harness.Sequential{}.Execute(context.Background(), newExperiment(t, reps, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +116,7 @@ func TestCrashResume(t *testing.T) {
 
 	// Pass 3: nothing left to execute.
 	s3 := New(Options{Workers: 4, JournalDir: dir})
-	if _, err := s3.Execute(newExperiment(t, reps, healthy)); err != nil {
+	if _, err := s3.Execute(context.Background(), newExperiment(t, reps, healthy)); err != nil {
 		t.Fatal(err)
 	}
 	if st := s3.LastStats(); st.Executed != 0 || st.Replayed != 4*reps {

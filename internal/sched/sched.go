@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -144,7 +145,14 @@ type unit struct {
 // assembles the ResultSet in design order — byte-identical to what the
 // sequential executor produces for the same runner outputs, regardless
 // of completion order.
-func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
+//
+// Cancellation: once ctx is done the scheduler stops feeding work,
+// lets in-flight units finish (journaling each as it completes — a
+// canceled run's journal is always valid and warm-startable), waits for
+// every worker to exit, and returns the context error. Units already
+// dispatched are never torn mid-append; units never dispatched are
+// simply absent from the journal, exactly what a resume re-executes.
+func (s *Scheduler) Execute(ctx context.Context, e *harness.Experiment) (*harness.ResultSet, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
@@ -179,7 +187,7 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 	}
 
 	if s.opts.Controller != nil {
-		return s.executeDynamic(e, store, s.opts.Controller)
+		return s.executeDynamic(ctx, e, store, s.opts.Controller)
 	}
 
 	rows := e.Design.NumRuns()
@@ -222,7 +230,7 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 	}
 	stats.Units = rows*reps - stats.Skipped
 
-	if err := s.runPool(e, store, pending, results, &stats); err != nil {
+	if err := s.runPool(ctx, e, store, pending, results, &stats); err != nil {
 		return nil, err
 	}
 
@@ -250,8 +258,10 @@ func (s *Scheduler) Execute(e *harness.Experiment) (*harness.ResultSet, error) {
 
 // runPool drives the pending units through the worker pool. Each worker
 // writes into a distinct (row, rep) slot of results, so no lock is
-// needed on the result matrix; stats counters are mutex-guarded.
-func (s *Scheduler) runPool(e *harness.Experiment, store runstore.Store, pending []unit, results [][]map[string]float64, stats *Stats) error {
+// needed on the result matrix; stats counters are mutex-guarded. A done
+// context stops the feed; workers drain their in-flight unit (journaled
+// as usual) and exit, and the context error is returned.
+func (s *Scheduler) runPool(ctx context.Context, e *harness.Experiment, store runstore.Store, pending []unit, results [][]map[string]float64, stats *Stats) error {
 	if len(pending) == 0 {
 		return nil
 	}
@@ -283,13 +293,18 @@ func (s *Scheduler) runPool(e *harness.Experiment, store runstore.Store, pending
 				select {
 				case <-quit:
 					return
+				case <-ctx.Done():
+					return
 				default:
 				}
-				resp, retried, err := s.runWithRetry(e, u)
+				resp, retried, err := s.runWithRetry(ctx, e, u)
 				statsMu.Lock()
 				stats.Retried += retried
 				statsMu.Unlock()
 				if err != nil {
+					if ctx.Err() != nil {
+						return // cancellation, not a unit failure
+					}
 					fail(err)
 					return
 				}
@@ -320,16 +335,26 @@ feed:
 		case jobs <- u:
 		case <-quit:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sched: %s interrupted: %w (journal holds every completed unit; re-run to resume)", e.Name, err)
+	}
+	return nil
 }
 
 // runWithRetry executes one unit with the configured retry budget,
-// returning the responses and how many failed attempts were retried.
-func (s *Scheduler) runWithRetry(e *harness.Experiment, u unit) (map[string]float64, int, error) {
+// returning the responses and how many failed attempts were retried. A
+// done context stops the retry loop — a canceled run must not burn its
+// retry budget re-attempting units nobody will wait for.
+func (s *Scheduler) runWithRetry(ctx context.Context, e *harness.Experiment, u unit) (map[string]float64, int, error) {
 	attempts := 1 + s.opts.Retries
 	if attempts < 1 {
 		attempts = 1
@@ -338,9 +363,12 @@ func (s *Scheduler) runWithRetry(e *harness.Experiment, u unit) (map[string]floa
 	retried := 0
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			if ctx.Err() != nil {
+				break
+			}
 			retried++
 		}
-		resp, err := s.attempt(e, u)
+		resp, err := s.attempt(ctx, e, u)
 		if err == nil {
 			return resp, retried, nil
 		}
@@ -353,7 +381,13 @@ func (s *Scheduler) runWithRetry(e *harness.Experiment, u unit) (map[string]floa
 }
 
 // attempt runs one unit, enforcing the per-attempt timeout if set.
-func (s *Scheduler) attempt(e *harness.Experiment, u unit) (map[string]float64, error) {
+// With a timeout armed, context cancellation abandons the attempt the
+// same way a timeout does (see the Options.Timeout contract): the
+// runner goroutine finishes in the background and its result is
+// discarded. Without a timeout the attempt runs to completion — the
+// harness RunFunc carries no context, so there is nothing to interrupt;
+// cancellation then takes effect at the next unit boundary.
+func (s *Scheduler) attempt(ctx context.Context, e *harness.Experiment, u unit) (map[string]float64, error) {
 	if s.opts.Timeout <= 0 {
 		return harness.RunUnit(e, u.a, u.row, u.rep)
 	}
@@ -371,6 +405,9 @@ func (s *Scheduler) attempt(e *harness.Experiment, u unit) (map[string]float64, 
 	select {
 	case out := <-ch:
 		return out.resp, out.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("sched: %s run %d replicate %d abandoned: %w",
+			e.Name, u.row+1, u.rep+1, ctx.Err())
 	case <-timer.C:
 		return nil, fmt.Errorf("sched: %s run %d replicate %d timed out after %v",
 			e.Name, u.row+1, u.rep+1, s.opts.Timeout)

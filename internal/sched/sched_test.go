@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -50,12 +51,12 @@ func deterministicRunner(a design.Assignment, rep int) (map[string]float64, erro
 }
 
 func TestSchedulerMatchesSequentialByteForByte(t *testing.T) {
-	seqRS, err := harness.Sequential{}.Execute(newExperiment(t, 3, nil))
+	seqRS, err := harness.Sequential{}.Execute(context.Background(), newExperiment(t, 3, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := New(Options{Workers: 4})
-	conRS, err := s.Execute(newExperiment(t, 3, nil))
+	conRS, err := s.Execute(context.Background(), newExperiment(t, 3, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestSchedulerBoundsParallelism(t *testing.T) {
 		cur.Add(-1)
 		return deterministicRunner(a, rep)
 	}
-	if _, err := New(Options{Workers: workers}).Execute(newExperiment(t, 4, run)); err != nil {
+	if _, err := New(Options{Workers: workers}).Execute(context.Background(), newExperiment(t, 4, run)); err != nil {
 		t.Fatal(err)
 	}
 	if p := peak.Load(); p > workers {
@@ -112,7 +113,7 @@ func TestSchedulerRetries(t *testing.T) {
 		return deterministicRunner(a, rep)
 	}
 	s := New(Options{Workers: 2, Retries: 1})
-	rs, err := s.Execute(newExperiment(t, 2, flaky))
+	rs, err := s.Execute(context.Background(), newExperiment(t, 2, flaky))
 	if err != nil {
 		t.Fatalf("retries should absorb one failure per unit: %v", err)
 	}
@@ -127,7 +128,7 @@ func TestSchedulerRetries(t *testing.T) {
 	always := func(design.Assignment, int) (map[string]float64, error) {
 		return nil, errors.New("permanent failure")
 	}
-	if _, err := New(Options{Workers: 2, Retries: 2}).Execute(newExperiment(t, 1, always)); err == nil {
+	if _, err := New(Options{Workers: 2, Retries: 2}).Execute(context.Background(), newExperiment(t, 1, always)); err == nil {
 		t.Error("permanent failure should abort the run")
 	} else if !strings.Contains(err.Error(), "attempts") {
 		t.Errorf("error should mention attempts: %v", err)
@@ -142,7 +143,7 @@ func TestSchedulerTimeout(t *testing.T) {
 		return deterministicRunner(a, rep)
 	}
 	s := New(Options{Workers: 4, Timeout: 25 * time.Millisecond})
-	_, err := s.Execute(newExperiment(t, 1, slow))
+	_, err := s.Execute(context.Background(), newExperiment(t, 1, slow))
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Errorf("want timeout error, got %v", err)
 	}
@@ -157,7 +158,7 @@ func TestSchedulerWarmStartSkipsJournaledUnits(t *testing.T) {
 	}
 
 	s1 := New(Options{Workers: 4, JournalDir: dir})
-	rs1, err := s1.Execute(newExperiment(t, 3, counted))
+	rs1, err := s1.Execute(context.Background(), newExperiment(t, 3, counted))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestSchedulerWarmStartSkipsJournaledUnits(t *testing.T) {
 	// Second run, fresh scheduler, same journal dir: everything replays.
 	calls.Store(0)
 	s2 := New(Options{Workers: 4, JournalDir: dir})
-	rs2, err := s2.Execute(newExperiment(t, 3, counted))
+	rs2, err := s2.Execute(context.Background(), newExperiment(t, 3, counted))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestSchedulerReExecutesWhenJournalLacksResponse(t *testing.T) {
 	dir := t.TempDir()
 	e := newExperiment(t, 1, nil)
 	s := New(Options{Workers: 2, JournalDir: dir})
-	if _, err := s.Execute(e); err != nil {
+	if _, err := s.Execute(context.Background(), e); err != nil {
 		t.Fatal(err)
 	}
 	// Same journal, but the experiment now declares an extra response the
@@ -205,7 +206,7 @@ func TestSchedulerReExecutesWhenJournalLacksResponse(t *testing.T) {
 	})
 	e2.Responses = []string{"MIPS", "watts"}
 	s2 := New(Options{Workers: 2, JournalDir: dir})
-	if _, err := s2.Execute(e2); err != nil {
+	if _, err := s2.Execute(context.Background(), e2); err != nil {
 		t.Fatal(err)
 	}
 	if st := s2.LastStats(); st.Replayed != 0 || st.Executed != 4 {

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -63,7 +64,7 @@ func TestShardedRunPartitionsDisjointly(t *testing.T) {
 			return wideRunner(a, rep)
 		}
 		s := New(Options{Workers: 2, JournalDir: dir, Shards: shards, Shard: k})
-		rs, err := s.Execute(newWideExperiment(t, cells, reps, run))
+		rs, err := s.Execute(context.Background(), newWideExperiment(t, cells, reps, run))
 		if err != nil {
 			t.Fatalf("shard %d: %v", k, err)
 		}
@@ -119,7 +120,7 @@ func TestShardedRunPartitionsDisjointly(t *testing.T) {
 	// already canonical).
 	singleDir := t.TempDir()
 	s := New(Options{Workers: 1, JournalDir: singleDir})
-	if _, err := s.Execute(newWideExperiment(t, cells, reps, nil)); err != nil {
+	if _, err := s.Execute(context.Background(), newWideExperiment(t, cells, reps, nil)); err != nil {
 		t.Fatal(err)
 	}
 	merged := filepath.Join(dir, "merged.jsonl")
@@ -160,7 +161,7 @@ func TestShardedRunPartitionsDisjointly(t *testing.T) {
 	}
 	defer j.Close()
 	sr := New(Options{Workers: 2, Store: j})
-	rs, err := sr.Execute(newWideExperiment(t, cells, reps, func(design.Assignment, int) (map[string]float64, error) {
+	rs, err := sr.Execute(context.Background(), newWideExperiment(t, cells, reps, func(design.Assignment, int) (map[string]float64, error) {
 		return nil, fmt.Errorf("nothing should execute on a full replay")
 	}))
 	if err != nil {
@@ -169,7 +170,7 @@ func TestShardedRunPartitionsDisjointly(t *testing.T) {
 	if st := sr.LastStats(); st.Executed != 0 || st.Replayed != cells*reps {
 		t.Errorf("replay stats = %+v", st)
 	}
-	cold, err := harness.Sequential{}.Execute(newWideExperiment(t, cells, reps, nil))
+	cold, err := harness.Sequential{}.Execute(context.Background(), newWideExperiment(t, cells, reps, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,12 +186,12 @@ func TestShardedWarmStart(t *testing.T) {
 	dir := t.TempDir()
 	for k := 0; k < shards; k++ {
 		s := New(Options{Workers: 2, JournalDir: dir, Shards: shards, Shard: k})
-		if _, err := s.Execute(newWideExperiment(t, cells, reps, nil)); err != nil {
+		if _, err := s.Execute(context.Background(), newWideExperiment(t, cells, reps, nil)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	s := New(Options{Workers: 2, JournalDir: dir, Shards: shards, Shard: 0})
-	if _, err := s.Execute(newWideExperiment(t, cells, reps, func(design.Assignment, int) (map[string]float64, error) {
+	if _, err := s.Execute(context.Background(), newWideExperiment(t, cells, reps, func(design.Assignment, int) (map[string]float64, error) {
 		return nil, fmt.Errorf("warm shard re-run should replay, not execute")
 	})); err != nil {
 		t.Fatal(err)
@@ -206,20 +207,20 @@ func TestShardedWarmStart(t *testing.T) {
 func TestShardOptionValidation(t *testing.T) {
 	dir := t.TempDir()
 	e := func() *harness.Experiment { return newWideExperiment(t, 4, 1, nil) }
-	if _, err := New(Options{Shards: 2, Shard: 2, JournalDir: dir}).Execute(e()); err == nil {
+	if _, err := New(Options{Shards: 2, Shard: 2, JournalDir: dir}).Execute(context.Background(), e()); err == nil {
 		t.Error("shard index == shards should error")
 	}
-	if _, err := New(Options{Shards: 2, Shard: -1, JournalDir: dir}).Execute(e()); err == nil {
+	if _, err := New(Options{Shards: 2, Shard: -1, JournalDir: dir}).Execute(context.Background(), e()); err == nil {
 		t.Error("negative shard index should error")
 	}
-	if _, err := New(Options{Shards: 2}).Execute(e()); err == nil {
+	if _, err := New(Options{Shards: 2}).Execute(context.Background(), e()); err == nil {
 		t.Error("sharding without a store should error")
 	}
 	ctrl, err := adaptive.New(adaptive.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(Options{Shards: 2, JournalDir: dir, Controller: ctrl}).Execute(e()); err == nil {
+	if _, err := New(Options{Shards: 2, JournalDir: dir, Controller: ctrl}).Execute(context.Background(), e()); err == nil {
 		t.Error("sharding with an adaptive controller should error")
 	}
 }

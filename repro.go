@@ -4,29 +4,79 @@
 // (internal/core, internal/design, internal/measure, internal/stats,
 // internal/harness, internal/plot, internal/config, internal/sysinfo,
 // internal/repeat), the run-execution subsystem (internal/sched's
-// concurrent scheduler over internal/runstore's persistent run journal
+// concurrent scheduler over internal/runstore's persistent run stores
 // and regression gate), plus the substrates its worked examples run on
 // (internal/vdb, internal/tpch, internal/hwsim, internal/netsim).
 //
-// This root package exposes the per-table/per-figure experiment drivers so
-// the repository-level benchmarks (bench_test.go) and the perfeval CLI can
-// regenerate every artifact of the paper's evaluation.
+// This root package is the public API the perfeval CLI is built on, so
+// the command line and the library cannot drift:
+//
+//   - Run and RunAll execute the paper's experiment drivers under a
+//     context (cancellation drains the scheduler and leaves a valid,
+//     warm-startable store) with a typed RunConfig covering everything
+//     the CLI exposes as -D flags — workers, retries, timeouts,
+//     journaled warm starts, store backends, sharding, and adaptive
+//     replication.
+//   - Open gives streaming read-only access to any store file — JSONL
+//     journal or block-indexed archive, dispatched by content sniffing —
+//     and Merge, Compact, Convert, Inspect, and Diff are the library
+//     forms of the corresponding perfeval subcommands.
+//
+// The guarded API surface lives in api/repro.txt; `make check` fails
+// when it changes without that file being regenerated (tools/apicheck).
 package repro
 
-import "repro/internal/paperexp"
+import (
+	"context"
+
+	"repro/internal/harness"
+	"repro/internal/paperexp"
+)
 
 // Result is one regenerated table or figure of the paper.
 type Result = paperexp.Result
 
-// Experiment is one registered experiment driver.
+// Experiment is one registered experiment driver; its Run function
+// receives the caller's context.
 type Experiment = paperexp.Entry
+
+// Table renders aligned monospace tables — the house style every report
+// in this repository uses, re-exported so CLI-grade presentation needs
+// nothing beyond the public API.
+type Table = harness.Table
+
+// NewTable returns an empty Table.
+func NewTable() *Table { return harness.NewTable() }
 
 // Experiments lists every reproducible table and figure in paper order.
 func Experiments() []Experiment { return paperexp.Registry() }
 
-// RunExperiment regenerates the artifact with the given id (t1..t10,
-// f1..f7, case-insensitive).
-func RunExperiment(id string) (*Result, error) { return paperexp.Run(id) }
+// SuiteInstructions renders the repeatability instructions for the whole
+// experiment set — what `perfeval suite` prints.
+func SuiteInstructions() string { return paperexp.PaperSuite().Instructions() }
 
-// RunAllExperiments regenerates every artifact.
-func RunAllExperiments() ([]*Result, error) { return paperexp.RunAll() }
+// RunExperiment regenerates the artifact with the given id (t1..t10,
+// f1..f7, case-insensitive) through the sequential executor. It is
+// shorthand for Run with a zero RunConfig, discarding the Outcome
+// accounting.
+func RunExperiment(ctx context.Context, id string) (*Result, error) {
+	out, err := Run(ctx, id, RunConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// RunAllExperiments regenerates every artifact through the sequential
+// executor, stopping at the first failure.
+func RunAllExperiments(ctx context.Context) ([]*Result, error) {
+	outs, err := RunAll(ctx, RunConfig{})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(outs))
+	for i, o := range outs {
+		results[i] = o.Result
+	}
+	return results, nil
+}

@@ -1,0 +1,238 @@
+// Command apicheck is the API-compatibility gate behind `make check`:
+// it extracts the exported surface of the public repro package (the
+// repository root) and compares it against the checked-in golden file
+// api/repro.txt. A PR that changes the public API — removes an
+// identifier, changes a signature, adds a new one — fails the build
+// until the golden file is regenerated with -update, which makes every
+// API change an explicit, reviewable diff instead of a silent drift.
+//
+// Usage (from the repository root):
+//
+//	go run ./tools/apicheck           # verify
+//	go run ./tools/apicheck -update   # regenerate api/repro.txt
+//
+// Like tools/docscheck it runs on the standard library alone
+// (go/parser + go/printer), so CI needs nothing beyond the toolchain.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// goldenPath is where the guarded API surface lives.
+const goldenPath = "api/repro.txt"
+
+func main() {
+	update := flag.Bool("update", false, "rewrite "+goldenPath+" with the current surface")
+	flag.Parse()
+
+	surface, err := exportedSurface(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+	current := strings.Join(surface, "\n") + "\n"
+
+	if *update {
+		if err := os.MkdirAll("api", 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(goldenPath, []byte(current), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: wrote %s (%d declarations)\n", goldenPath, len(surface))
+		return
+	}
+
+	goldenBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v\nrun `go run ./tools/apicheck -update` to create the golden file\n", err)
+		os.Exit(1)
+	}
+	golden := strings.Split(strings.TrimRight(string(goldenBytes), "\n"), "\n")
+	if diff := diffLines(golden, surface); len(diff) > 0 {
+		for _, d := range diff {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: public API surface differs from %s (%d line(s))\n", goldenPath, len(diff))
+		fmt.Fprintln(os.Stderr, "if the change is intentional, regenerate with: go run ./tools/apicheck -update")
+		os.Exit(1)
+	}
+	fmt.Printf("apicheck: ok (%d declarations)\n", len(surface))
+}
+
+// exportedSurface parses the package in dir (tests excluded) and
+// returns one normalized line per exported declaration — functions,
+// methods on exported receivers, types, and exported const/var names —
+// sorted for a stable diff.
+func exportedSurface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") || name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders the exported API lines of one top-level declaration.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			rt := typeString(fset, d.Recv.List[0].Type)
+			if !exportedReceiver(rt) {
+				return nil
+			}
+			recv = "(" + rt + ") "
+		}
+		out = append(out, "func "+recv+d.Name.Name+strings.TrimPrefix(typeString(fset, d.Type), "func"))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				assign := " "
+				if s.Assign != token.NoPos {
+					assign = " = "
+				}
+				out = append(out, "type "+s.Name.Name+assign+typeSummary(fset, s.Type))
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					kw := "var"
+					if d.Tok == token.CONST {
+						kw = "const"
+					}
+					typ := ""
+					if s.Type != nil {
+						typ = " " + typeString(fset, s.Type)
+					}
+					out = append(out, kw+" "+n.Name+typ)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedReceiver reports whether a method receiver type ("*Store",
+// "Budget") names an exported type.
+func exportedReceiver(rt string) bool {
+	rt = strings.TrimPrefix(rt, "*")
+	if i := strings.IndexByte(rt, '['); i >= 0 { // generic receiver params
+		rt = rt[:i]
+	}
+	return rt != "" && ast.IsExported(rt)
+}
+
+// typeSummary renders a type expression; struct and interface bodies
+// are expanded so field additions and removals show up in the surface.
+func typeSummary(fset *token.FileSet, expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StructType:
+		var fields []string
+		for _, f := range t.Fields.List {
+			ft := typeString(fset, f.Type)
+			if len(f.Names) == 0 {
+				if ast.IsExported(strings.TrimPrefix(ft, "*")) {
+					fields = append(fields, ft) // exported embedded field
+				}
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					fields = append(fields, n.Name+" "+ft)
+				}
+			}
+		}
+		return "struct { " + strings.Join(fields, "; ") + " }"
+	case *ast.InterfaceType:
+		var methods []string
+		for _, m := range t.Methods.List {
+			mt := typeString(fset, m.Type)
+			if len(m.Names) == 0 {
+				methods = append(methods, mt)
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					methods = append(methods, n.Name+strings.TrimPrefix(mt, "func"))
+				}
+			}
+		}
+		return "interface { " + strings.Join(methods, "; ") + " }"
+	default:
+		return typeString(fset, expr)
+	}
+}
+
+// spaceRE collapses the whitespace go/printer introduces.
+var spaceRE = regexp.MustCompile(`\s+`)
+
+// typeString prints a type expression as normalized single-line source.
+func typeString(fset *token.FileSet, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return spaceRE.ReplaceAllString(buf.String(), " ")
+}
+
+// diffLines reports golden/current mismatches as +/- lines.
+func diffLines(golden, current []string) []string {
+	goldenSet := make(map[string]bool, len(golden))
+	for _, g := range golden {
+		goldenSet[g] = true
+	}
+	currentSet := make(map[string]bool, len(current))
+	for _, c := range current {
+		currentSet[c] = true
+	}
+	var diff []string
+	for _, g := range golden {
+		if !currentSet[g] {
+			diff = append(diff, "- "+g)
+		}
+	}
+	for _, c := range current {
+		if !goldenSet[c] {
+			diff = append(diff, "+ "+c)
+		}
+	}
+	return diff
+}

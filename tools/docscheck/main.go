@@ -29,6 +29,7 @@ import (
 // carry doc comments. Test files are excluded; external test packages
 // are skipped.
 var checkedPackages = []string{
+	".", // the public repro package at the repository root
 	"internal/runstore",
 	"internal/runstore/shardstore",
 	"internal/runstore/archivestore",
