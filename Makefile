@@ -56,6 +56,14 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzJournalParse -fuzztime=$(FUZZTIME) -run=^$$ ./internal/runstore
 
+# Collector perf snapshot: ingest throughput at increasing worker
+# concurrency plus merge-after-collect wall time, recorded in
+# BENCH_collector.json. Regenerate after collector-path changes and
+# commit the diff alongside them.
+.PHONY: bench-collector
+bench-collector:
+	$(GO) run ./tools/benchcollector -out BENCH_collector.json
+
 .PHONY: cover
 cover:
 	$(GO) test -cover ./...

@@ -5,6 +5,8 @@
 //	perfeval list
 //	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR] [-Dstore=journal|archive]
 //	perfeval run <id>|all -Dsched.shards=N -Dsched.shard=K -Djournal.dir=DIR
+//	perfeval serve -Dcollector.dir=DIR [-Dcollector.addr=:8080] [-Dcollector.shards=N]
+//	perfeval work <id>|all -Dcollector.url=http://host:8080 [-Dsched.workers=N]
 //	perfeval shard-plan <id>|all -Dsched.shards=N [-Djournal.dir=DIR]
 //	perfeval merge <out.jsonl|out.arch> <src.jsonl|src.arch>... [-Dmerge.strict=true]
 //	perfeval archive <out.arch> <src.jsonl|src.arch>...
@@ -52,6 +54,22 @@
 // -Dmerge.strict=true conflicts fail the command) into one journal in
 // canonical order — after `perfeval compact`, byte-identical to the
 // journal a single-process run of the same experiment produces.
+//
+// Collector mode replaces the shared-filesystem step of the sharded
+// workflow with a long-lived HTTP daemon: `perfeval serve` owns the
+// experiment stores (-Dcollector.dir) and partitions each experiment
+// into -Dcollector.shards lease-able shards; any number of `perfeval
+// work` processes — on any machines that can reach -Dcollector.url —
+// lease shards, execute them through the scheduler, and stream
+// completed records back as NDJSON batches. Leases carry a TTL
+// (-Dcollector.ttl): a worker that dies mid-stream loses its shard to
+// the pool, and the next worker warm-starts from everything the dead
+// one streamed. Per-experiment backpressure (-Dcollector.inflight
+// bytes; HTTP 429 + Retry-After) bounds ingest memory. The collector's
+// merged store is byte-identical to a single-process run; GET
+// /v1/status endpoints expose worker, lease, per-cell replicate, and
+// (with -Dcollector.baseline) regression-gate state. The wire protocol
+// is documented in docs/COLLECTOR.md.
 //
 // The archive store (-Dstore=archive) swaps the per-experiment JSONL
 // journal for the block-indexed single-file archive
@@ -122,7 +140,7 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 		return err
 	}
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: perfeval list | run <id>|all | shard-plan <id>|all | merge <out> <src>... | archive <out.arch> <src>... | inspect <file>... | diff <baseline> <current> | compact <journal> | suite")
+		return fmt.Errorf("usage: perfeval list | run <id>|all | serve | work <id>|all | shard-plan <id>|all | merge <out> <src>... | archive <out.arch> <src>... | inspect <file>... | diff <baseline> <current> | compact <journal> | suite")
 	}
 	switch rest[0] {
 	case "list":
@@ -136,6 +154,18 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 			return fmt.Errorf("usage: perfeval run <id>|all")
 		}
 		return runExperiments(ctx, w, props, rest[1:])
+
+	case "serve":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: perfeval serve -Dcollector.dir=DIR [-Dcollector.addr=:8080] [-Dcollector.shards=N] [-Dcollector.ttl=30s] [-Dcollector.inflight=BYTES] [-Dcollector.baseline=PATH]")
+		}
+		return serveCmd(ctx, w, props)
+
+	case "work":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: perfeval work <id>|all -Dcollector.url=URL [-Dsched.workers=N] [-Dworker.name=NAME] [-Dworker.spool=DIR] [-Dworker.flush=N]")
+		}
+		return workCmd(ctx, w, props, rest[1:])
 
 	case "shard-plan":
 		if len(rest) != 2 {
@@ -191,7 +221,7 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, shard-plan, merge, archive, inspect, diff, compact, or suite)", rest[0])
+		return fmt.Errorf("unknown command %q (want list, run, serve, work, shard-plan, merge, archive, inspect, diff, compact, or suite)", rest[0])
 	}
 }
 
@@ -501,6 +531,11 @@ func shardPlan(w io.Writer, props *config.Properties, id string) error {
 	fmt.Fprintf(w, "\n# 4. replay the merged journal for the full artifact, or gate it:\n")
 	fmt.Fprintf(w, "perfeval run %s -Djournal.dir=%s/merged\n", id, dir)
 	fmt.Fprintf(w, "perfeval diff <baseline.jsonl> %s/merged/<experiment>.jsonl\n", dir)
+	fmt.Fprintf(w, "\n# collector mode runs the same plan without a shared filesystem or\n")
+	fmt.Fprintf(w, "# per-worker -Dsched.shard bookkeeping: one daemon owns the store and\n")
+	fmt.Fprintf(w, "# leases shards to workers over HTTP (see docs/COLLECTOR.md):\n")
+	fmt.Fprintf(w, "perfeval serve -Dcollector.dir=%s -Dcollector.shards=%d\n", dir, shards)
+	fmt.Fprintf(w, "perfeval work %s -Dcollector.url=http://<collector-host>:8080   # per worker machine\n", id)
 
 	pattern := filepath.Join(dir, fmt.Sprintf("*.shard-*-of-%03d.jsonl", shards))
 	files, err := filepath.Glob(pattern)

@@ -1,0 +1,282 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/runstore"
+)
+
+// Sentinel errors of the collector protocol. Callers match them with
+// errors.Is; the wrapped text carries the server's own account.
+var (
+	// ErrComplete: every shard of the experiment is done (acquire
+	// answered 204) — the worker drains.
+	ErrComplete = errors.New("collector: experiment complete")
+	// ErrBusy: all incomplete shards are leased right now (409 on
+	// acquire) — retry after the server's hint.
+	ErrBusy = errors.New("collector: all shards leased")
+	// ErrLeaseLost: the lease is not live any more (410) — the TTL
+	// expired and the shard is free for another worker. Stop streaming.
+	ErrLeaseLost = errors.New("collector: lease lost")
+	// ErrConflict: the server refused a record that does not belong to
+	// the lease (409 on ingest) — a worker-side sharding bug.
+	ErrConflict = errors.New("collector: conflict")
+)
+
+// Client speaks the collector wire protocol (docs/COLLECTOR.md) to one
+// server. It is safe for concurrent use; 429 backpressure on ingest is
+// absorbed internally by honoring the server's Retry-After hint.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a Client for the collector at base (e.g.
+// "http://host:8080"). httpClient nil means http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// Register announces the worker, returning the (server-assigned when
+// empty) worker name.
+func (c *Client) Register(ctx context.Context, worker string) (string, error) {
+	var resp collector.RegisterResponse
+	if err := c.postJSON(ctx, collector.PathRegister, collector.RegisterRequest{Worker: worker}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Worker, nil
+}
+
+// Acquire asks for a shard lease on one experiment. It returns
+// ErrComplete when the experiment has no work left and ErrBusy (with
+// the server's suggested wait) when every incomplete shard is leased.
+func (c *Client) Acquire(ctx context.Context, worker, experiment string) (*collector.AcquireResponse, error) {
+	req, err := c.request(ctx, http.MethodPost, collector.PathAcquire, nil,
+		collector.AcquireRequest{Worker: worker, Experiment: experiment})
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(httpResp)
+	switch httpResp.StatusCode {
+	case http.StatusOK:
+		var resp collector.AcquireResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+			return nil, fmt.Errorf("collector client: decoding acquire response: %w", err)
+		}
+		return &resp, nil
+	case http.StatusNoContent:
+		return nil, ErrComplete
+	case http.StatusConflict:
+		return nil, fmt.Errorf("%w (retry in %v): %s", ErrBusy, retryAfter(httpResp), serverError(httpResp))
+	default:
+		return nil, fmt.Errorf("collector client: acquire: %s", serverError(httpResp))
+	}
+}
+
+// Snapshot fetches the lease's shard warm-start snapshot: every record
+// the server already holds for that shard, keyed for replay.
+func (c *Client) Snapshot(ctx context.Context, lease string) (map[string]runstore.Record, error) {
+	req, err := c.request(ctx, http.MethodGet, collector.PathSnapshot, url.Values{"lease": {lease}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(httpResp)
+	if httpResp.StatusCode == http.StatusGone {
+		return nil, fmt.Errorf("%w: %s", ErrLeaseLost, serverError(httpResp))
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("collector client: snapshot: %s", serverError(httpResp))
+	}
+	warm := make(map[string]runstore.Record)
+	if _, err := runstore.DecodeWire(httpResp.Body, func(rec runstore.Record) error {
+		warm[rec.Key()] = rec
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("collector client: snapshot stream: %w", err)
+	}
+	return warm, nil
+}
+
+// Ingest streams one batch of records under the lease. Backpressure
+// (429) is retried after the server's hint until ctx ends; 410 maps to
+// ErrLeaseLost and 409 to ErrConflict, both of which mean: stop.
+func (c *Client) Ingest(ctx context.Context, lease string, recs []runstore.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var body bytes.Buffer
+	for _, rec := range recs {
+		if err := runstore.EncodeWire(&body, rec); err != nil {
+			return err
+		}
+	}
+	for {
+		req, err := c.request(ctx, http.MethodPost, collector.PathIngest, url.Values{"lease": {lease}}, nil)
+		if err != nil {
+			return err
+		}
+		payload := body.Bytes()
+		req.Body = io.NopCloser(bytes.NewReader(payload))
+		req.ContentLength = int64(len(payload))
+		httpResp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		switch httpResp.StatusCode {
+		case http.StatusOK:
+			drain(httpResp)
+			return nil
+		case http.StatusTooManyRequests:
+			wait := retryAfter(httpResp)
+			drain(httpResp)
+			select {
+			case <-time.After(wait):
+				continue // the batch is re-sent whole; the store is last-wins
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		case http.StatusGone:
+			msg := serverError(httpResp)
+			drain(httpResp)
+			return fmt.Errorf("%w: %s", ErrLeaseLost, msg)
+		case http.StatusConflict:
+			msg := serverError(httpResp)
+			drain(httpResp)
+			return fmt.Errorf("%w: %s", ErrConflict, msg)
+		default:
+			msg := serverError(httpResp)
+			drain(httpResp)
+			return fmt.Errorf("collector client: ingest: %s", msg)
+		}
+	}
+}
+
+// Renew extends the lease by the server's TTL; ErrLeaseLost means the
+// shard has already moved on.
+func (c *Client) Renew(ctx context.Context, lease string) error {
+	err := c.postJSON(ctx, collector.PathRenew, collector.RenewRequest{Lease: lease}, &collector.RenewResponse{})
+	return err
+}
+
+// Release returns the shard: complete (done for good) or abandoned
+// (back to the pool, warm).
+func (c *Client) Release(ctx context.Context, lease string, complete bool) error {
+	return c.postJSON(ctx, collector.PathRelease, collector.ReleaseRequest{Lease: lease, Complete: complete}, nil)
+}
+
+// Status fetches the collector's live control-plane view.
+func (c *Client) Status(ctx context.Context) (*collector.StatusResponse, error) {
+	req, err := c.request(ctx, http.MethodGet, collector.PathStatus, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(httpResp)
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("collector client: status: %s", serverError(httpResp))
+	}
+	var resp collector.StatusResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("collector client: decoding status: %w", err)
+	}
+	return &resp, nil
+}
+
+// request builds one protocol request; a non-nil body is JSON-encoded.
+func (c *Client) request(ctx context.Context, method, path string, query url.Values, body any) (*http.Request, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("collector client: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, fmt.Errorf("collector client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return req, nil
+}
+
+// postJSON posts one JSON request and decodes a 2xx JSON response into
+// out (out nil or a 204 skips decoding). 410 maps to ErrLeaseLost.
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	req, err := c.request(ctx, http.MethodPost, path, nil, body)
+	if err != nil {
+		return err
+	}
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(httpResp)
+	switch {
+	case httpResp.StatusCode == http.StatusGone:
+		return fmt.Errorf("%w: %s", ErrLeaseLost, serverError(httpResp))
+	case httpResp.StatusCode >= 300:
+		return fmt.Errorf("collector client: %s: %s", path, serverError(httpResp))
+	}
+	if out == nil || httpResp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
+		return fmt.Errorf("collector client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// serverError extracts the server's JSON error body, falling back to
+// the HTTP status line.
+func serverError(resp *http.Response) string {
+	var e collector.ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return resp.Status
+}
+
+// retryAfter parses the Retry-After hint, defaulting to one second.
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
+}
+
+// drain discards and closes a response body so connections are reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

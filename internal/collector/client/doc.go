@@ -1,0 +1,30 @@
+// Package client is the worker side of the run collector
+// (internal/collector): it turns a remote collector into a
+// harness.Executor, so any experiment that runs on the in-process
+// scheduler runs, unchanged, as one worker of a distributed fleet.
+//
+// The layering reuses every local guarantee instead of re-deriving it:
+//
+//   - Worker is the executor. For each harness experiment it loops
+//     acquire → run → release: it leases one shard of the experiment's
+//     pool from the collector, executes exactly that shard through
+//     internal/sched (Options.Store + Shards/Shard — the same partition
+//     arithmetic the single-disk workflow uses), and releases it
+//     complete, until the server answers "experiment complete".
+//   - remoteStore is the runstore.Store the scheduler journals into: a
+//     local spool journal (durability — every completed unit is fsynced
+//     on this machine before the scheduler moves on) tee'd into batched
+//     NDJSON ingest streams to the collector (collection), with the
+//     shard's server-side warm-start snapshot behind Lookup so units a
+//     previous owner already collected replay instead of re-executing.
+//   - A renewal goroutine keeps the lease alive at a third of its TTL.
+//
+// Failure contract: on a server-reported conflict (409 — a record that
+// does not belong to the lease) or lease loss (410 — the TTL expired and
+// the shard moved on), the worker stops cleanly with a descriptive
+// error. The local spool journal is always valid — it is an ordinary
+// runstore journal, merge-able and warm-startable — and the records the
+// server acknowledged before the stop warm-start the shard's next
+// owner. Backpressure (429 + Retry-After) is absorbed inside the client
+// by honoring the hinted wait; the scheduler above never sees it.
+package client

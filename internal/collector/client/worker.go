@@ -1,0 +1,262 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/harness"
+	"repro/internal/runstore/shardstore"
+	"repro/internal/sched"
+)
+
+// Options configure a Worker.
+type Options struct {
+	// URL is the collector's base URL (e.g. "http://host:8080").
+	// Required.
+	URL string
+	// Worker names this worker in leases and status; empty asks the
+	// server to assign one.
+	Worker string
+	// Workers, Retries, Timeout configure the underlying scheduler per
+	// shard run, exactly as sched.Options do.
+	Workers int
+	Retries int
+	Timeout time.Duration
+	// SpoolDir is where the local spool journals (one per experiment
+	// shard) are written; empty means a fresh temporary directory.
+	SpoolDir string
+	// FlushEvery is the ingest batch size in records; < 1 means 32.
+	// 1 streams every append immediately — the crash-handoff tests'
+	// setting, and the latency-over-throughput end of the knob.
+	FlushEvery int
+	// AcquireWait is how long to wait between acquire attempts while
+	// every incomplete shard is leased by someone else; 0 means 1s.
+	AcquireWait time.Duration
+	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Report accumulates what a Worker did across every shard it served.
+type Report struct {
+	Shards   int   // shard leases run to completion
+	Executed int   // units executed live on this worker
+	Replayed int   // units replayed from warm-start snapshots or spool
+	Streamed int64 // records acknowledged by the collector
+}
+
+// Worker is the collector-backed harness.Executor: Execute leases
+// shards of the experiment from the collector, runs each through the
+// concurrent scheduler against a remoteStore, and loops until the
+// server reports the experiment complete. It is the `perfeval work`
+// engine, and composes with everything an executor composes with —
+// harness.WithExecutor, the paperexp drivers, the public repro API.
+type Worker struct {
+	opts Options
+	c    *Client
+
+	registerOnce sync.Once
+	name         string
+	registerErr  error
+
+	mu     sync.Mutex
+	report Report
+}
+
+// NewWorker returns a Worker for the collector at opts.URL.
+func NewWorker(opts Options) (*Worker, error) {
+	if opts.URL == "" {
+		return nil, fmt.Errorf("collector client: Options.URL is required")
+	}
+	if opts.AcquireWait <= 0 {
+		opts.AcquireWait = time.Second
+	}
+	return &Worker{opts: opts, c: New(opts.URL, opts.HTTPClient)}, nil
+}
+
+var _ harness.Executor = (*Worker)(nil)
+
+// Report returns what the worker has done so far.
+func (w *Worker) Report() Report {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.report
+}
+
+// Execute implements harness.Executor: acquire a lease, run the leased
+// shard through the scheduler (streaming appends as they complete),
+// release it complete, and repeat until the collector answers that the
+// experiment is done. The returned ResultSet holds the rows this worker
+// executed or replayed; rows other workers own carry no replicates —
+// the complete artifact is the server-side merge, exactly as in the
+// single-disk sharded workflow.
+//
+// On lease loss or a server-reported conflict the worker stops cleanly
+// with the cause: the local spool journal is valid, and everything the
+// server acknowledged warm-starts the shard's next owner.
+func (w *Worker) Execute(ctx context.Context, e *harness.Experiment) (*harness.ResultSet, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	w.registerOnce.Do(func() {
+		w.name, w.registerErr = w.c.Register(ctx, w.opts.Worker)
+	})
+	if w.registerErr != nil {
+		return nil, fmt.Errorf("collector client: register: %w", w.registerErr)
+	}
+	spool := w.opts.SpoolDir
+	if spool == "" {
+		dir, err := os.MkdirTemp("", "collector-spool-")
+		if err != nil {
+			return nil, fmt.Errorf("collector client: %w", err)
+		}
+		spool = dir
+	}
+	var best *harness.ResultSet
+	for {
+		grant, err := w.c.Acquire(ctx, w.name, e.Name)
+		switch {
+		case errors.Is(err, ErrComplete):
+			if best == nil {
+				// The experiment finished before this worker got a shard;
+				// report the design with no replicates, like a sharded
+				// worker that owned no rows.
+				return emptyResultSet(e)
+			}
+			return best, nil
+		case errors.Is(err, ErrBusy):
+			select {
+			case <-time.After(w.opts.AcquireWait):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		case err != nil:
+			return nil, err
+		}
+		rs, err := w.runShard(ctx, e, spool, grant)
+		if err != nil {
+			return nil, err
+		}
+		best = mergeResults(best, rs)
+	}
+}
+
+// runShard executes one leased shard through the scheduler and releases
+// it complete. The lease is renewed at a third of its TTL for as long
+// as the run lasts.
+func (w *Worker) runShard(ctx context.Context, e *harness.Experiment, spool string, grant *collector.AcquireResponse) (*harness.ResultSet, error) {
+	warm, err := w.c.Snapshot(ctx, grant.Lease)
+	if err != nil {
+		return nil, err
+	}
+	store, err := newRemoteStore(ctx, w.c,
+		grant.Lease, shardstore.Path(spool, e.Name, grant.Shard, grant.Shards), warm, w.opts.FlushEvery)
+	if err != nil {
+		return nil, err
+	}
+
+	// The renewer keeps the lease alive; losing it cancels the shard run
+	// so the scheduler drains instead of burning work nobody will
+	// collect.
+	shardCtx, cancelShard := context.WithCancel(ctx)
+	defer cancelShard()
+	renewCtx, stopRenew := context.WithCancel(ctx)
+	var renewWG sync.WaitGroup
+	ttl := time.Duration(grant.TTLMillis) * time.Millisecond
+	renewWG.Add(1)
+	go func() {
+		defer renewWG.Done()
+		ticker := time.NewTicker(ttl / 3)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-renewCtx.Done():
+				return
+			case <-ticker.C:
+				if err := w.c.Renew(renewCtx, grant.Lease); errors.Is(err, ErrLeaseLost) {
+					store.markLost(err)
+					cancelShard()
+					return
+				}
+			}
+		}
+	}()
+
+	s := sched.New(sched.Options{
+		Workers: w.opts.Workers,
+		Retries: w.opts.Retries,
+		Timeout: w.opts.Timeout,
+		Store:   store,
+		Shards:  grant.Shards,
+		Shard:   grant.Shard,
+	})
+	rs, runErr := s.Execute(shardCtx, e)
+	stopRenew()
+	renewWG.Wait()
+	closeErr := store.Close() // final flush + spool close
+
+	st := s.LastStats()
+	w.mu.Lock()
+	w.report.Executed += st.Executed
+	w.report.Replayed += st.Replayed
+	w.report.Streamed += store.Streamed()
+	w.mu.Unlock()
+
+	if lost := store.lostErr(); lost != nil {
+		return nil, fmt.Errorf("collector client: shard %d of %s stopped cleanly (spool journal %s is valid): %w",
+			grant.Shard, e.Name, store.LocalPath(), lost)
+	}
+	if runErr != nil {
+		// A unit failure, not a lease problem: hand the shard back warm
+		// so another worker (or a retry of this one) can finish it.
+		relCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		w.c.Release(relCtx, grant.Lease, false)
+		cancel()
+		return nil, runErr
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	if err := w.c.Release(ctx, grant.Lease, true); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.report.Shards++
+	w.mu.Unlock()
+	return rs, nil
+}
+
+// emptyResultSet renders the design with zero replicates everywhere —
+// what a worker that owned no rows reports.
+func emptyResultSet(e *harness.Experiment) (*harness.ResultSet, error) {
+	rs := &harness.ResultSet{Experiment: e}
+	for r := 0; r < e.Design.NumRuns(); r++ {
+		a, err := e.Design.Assignment(r)
+		if err != nil {
+			return nil, err
+		}
+		rs.Rows = append(rs.Rows, harness.ResultRow{Assignment: a})
+	}
+	return rs, nil
+}
+
+// mergeResults folds the result sets of successive shard runs: row
+// ownership is disjoint, so for every row the run that executed it has
+// the replicates and everyone else has none.
+func mergeResults(acc, rs *harness.ResultSet) *harness.ResultSet {
+	if acc == nil {
+		return rs
+	}
+	for i := range acc.Rows {
+		if i < len(rs.Rows) && len(rs.Rows[i].Reps) > len(acc.Rows[i].Reps) {
+			acc.Rows[i] = rs.Rows[i]
+		}
+	}
+	return acc
+}

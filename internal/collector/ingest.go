@@ -1,0 +1,130 @@
+package collector
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/runstore"
+)
+
+// handleIngest streams one batch of NDJSON records into the lease's
+// shard:
+//
+//	200 IngestResponse — every record in the batch is durably appended
+//	410 — the lease is not live; the worker must stop streaming
+//	429 + Retry-After — the experiment's in-flight byte budget is full
+//	409 — a record does not belong to the lease (wrong experiment, or
+//	      routed to another shard): a worker-side sharding bug that must
+//	      fail loudly before it overlaps another worker's data
+//	400 — a malformed or truncated stream
+//
+// Records are validated and appended one at a time, in stream order, so
+// a failed batch leaves a clean prefix durably stored; delivery is
+// at-least-once and the stores are last-wins, so a retried batch
+// converges instead of duplicating.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("lease")
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	l, ok := s.leaseLocked(id, now)
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusGone, fmt.Sprintf("collector: lease %q is not live (expired or never granted)", id))
+		return
+	}
+	e := l.exp
+	// Backpressure admission: reserve the declared body size against the
+	// experiment's in-flight budget. An idle experiment always admits —
+	// progress must stay possible whatever MaxInflight is — but a busy
+	// one refuses what would overflow, and the client backs off by the
+	// Retry-After hint.
+	reserve := r.ContentLength
+	if reserve < 0 {
+		reserve = 0
+	}
+	if e.inflight > 0 && e.inflight+reserve > s.cfg.MaxInflight {
+		s.mu.Unlock()
+		retryAfterHeader(w, s.cfg.RetryAfter)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("collector: %s: ingest budget full (%d in-flight byte(s))", e.name, e.inflight))
+		return
+	}
+	e.inflight += reserve
+	store, shard, shards := e.store, l.shard, len(e.shards)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		e.inflight -= reserve
+		s.mu.Unlock()
+	}()
+
+	// Decode and append outside the control-state lock: the sharded
+	// store carries its own per-journal locking, so batches for
+	// different shards write concurrently.
+	n, err := runstore.DecodeWire(r.Body, func(rec runstore.Record) error {
+		if rec.Experiment != e.name {
+			return &ingestConflict{fmt.Sprintf("collector: record %s belongs to experiment %q, lease %s owns %q",
+				rec.Key(), rec.Experiment, id, e.name)}
+		}
+		if got := runstore.ShardIndex(rec.Hash, shards); got != shard {
+			return &ingestConflict{fmt.Sprintf("collector: record %s routes to shard %d, lease %s owns shard %d of %d",
+				rec.Key(), got, id, shard, shards)}
+		}
+		return store.Append(rec)
+	})
+	s.mu.Lock()
+	e.records += int64(n)
+	s.mu.Unlock()
+	if err != nil {
+		if c, ok := err.(*ingestConflict); ok {
+			writeError(w, http.StatusConflict, c.msg)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Appended: n})
+}
+
+// ingestConflict marks a record that does not belong to its lease — the
+// one ingest failure that is a worker bug, not a transport hiccup, and
+// so maps to 409 rather than 400.
+type ingestConflict struct{ msg string }
+
+func (c *ingestConflict) Error() string { return c.msg }
+
+// handleSnapshot streams the lease's shard as it stands — every record
+// earlier owners collected — as NDJSON in the wire framing. It is the
+// warm-start feed: the new owner indexes these records and replays them
+// through the scheduler's journal warm-start machinery instead of
+// re-executing them. The scan snapshots its key set at start (the
+// runstore.Store contract), so concurrent ingest on other shards never
+// corrupts it.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("lease")
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	l, ok := s.leaseLocked(id, now)
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusGone, fmt.Sprintf("collector: lease %q is not live (expired or never granted)", id))
+		return
+	}
+	store, shard, shards := l.exp.store, l.shard, len(l.exp.shards)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for rec, err := range store.Scan() {
+		if err != nil {
+			// The header is out; all we can do is cut the stream so the
+			// truncation is visible to DecodeWire on the client.
+			return
+		}
+		if runstore.ShardIndex(rec.Hash, shards) != shard {
+			continue
+		}
+		if err := runstore.EncodeWire(w, rec); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleAcquire grants a shard lease on one experiment:
+//
+//	200 AcquireResponse — a free (or expired-and-reclaimed) shard,
+//	    leased to the caller for the server's TTL
+//	204 — every shard of the experiment is complete; the worker drains
+//	409 + Retry-After — all remaining shards are leased right now; retry
+//
+// The worker must then fetch the shard's warm-start snapshot
+// (PathSnapshot) so records a previous owner already collected replay
+// instead of re-executing.
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req AcquireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("collector: bad acquire request: %v", err))
+		return
+	}
+	if req.Experiment == "" {
+		writeError(w, http.StatusBadRequest, "collector: acquire needs an experiment name")
+		return
+	}
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.experimentLocked(req.Experiment)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if req.Worker != "" {
+		s.workers[req.Worker] = struct{}{}
+	}
+	s.sweepLocked(e, now)
+	free, done := -1, 0
+	for i, sh := range e.shards {
+		switch sh.state {
+		case shardFree:
+			if free < 0 {
+				free = i
+			}
+		case shardDone:
+			done++
+		}
+	}
+	if free < 0 {
+		if done == len(e.shards) {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		retryAfterHeader(w, s.cfg.RetryAfter)
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("collector: %s: all %d incomplete shard(s) are leased", e.name, len(e.shards)-done))
+		return
+	}
+	s.seq++
+	l := &lease{
+		id:      "lease-" + strconv.Itoa(s.seq),
+		exp:     e,
+		shard:   free,
+		worker:  req.Worker,
+		expires: now.Add(s.cfg.LeaseTTL),
+	}
+	e.shards[free] = shardState{state: shardLeased, l: l}
+	e.leases[l.id] = l
+	writeJSON(w, http.StatusOK, AcquireResponse{
+		Lease:     l.id,
+		Shard:     l.shard,
+		Shards:    len(e.shards),
+		TTLMillis: s.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+// handleRenew extends a live lease by the TTL. A lease the sweep has
+// already reclaimed answers 410 Gone: the worker has lost the shard and
+// must stop streaming — its local journal stays valid, and whatever it
+// already ingested warm-starts the next owner.
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("collector: bad renew request: %v", err))
+		return
+	}
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leaseLocked(req.Lease, now)
+	if !ok {
+		writeError(w, http.StatusGone, fmt.Sprintf("collector: lease %s is not live (expired or never granted)", req.Lease))
+		return
+	}
+	l.expires = now.Add(s.cfg.LeaseTTL)
+	writeJSON(w, http.StatusOK, RenewResponse{TTLMillis: s.cfg.LeaseTTL.Milliseconds()})
+}
+
+// handleRelease returns a shard: complete (it leaves the pool — the
+// normal end of a fully executed shard) or abandoned (back to the free
+// pool, warm, for another worker). Releasing a dead lease is 410, like
+// renew.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("collector: bad release request: %v", err))
+		return
+	}
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leaseLocked(req.Lease, now)
+	if !ok {
+		writeError(w, http.StatusGone, fmt.Sprintf("collector: lease %s is not live (expired or never granted)", req.Lease))
+		return
+	}
+	state := shardFree
+	if req.Complete {
+		state = shardDone
+	}
+	l.exp.shards[l.shard] = shardState{state: state}
+	delete(l.exp.leases, l.id)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,257 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/runstore/shardstore"
+)
+
+// Config configures a collector Server.
+type Config struct {
+	// Dir is the directory the collected per-experiment sharded stores
+	// live in. Required.
+	Dir string
+	// Shards is the shard-pool size of every experiment — how many
+	// workers can execute one experiment concurrently. Values < 1
+	// default to 1.
+	Shards int
+	// LeaseTTL bounds how long a silent worker keeps its shard; an
+	// expired lease returns the shard to the pool for a surviving worker
+	// to warm-start. 0 defaults to 30s.
+	LeaseTTL time.Duration
+	// MaxInflight bounds the ingest bytes admitted concurrently per
+	// experiment — the backpressure knob. Requests that would exceed it
+	// are refused with 429 and a Retry-After. 0 defaults to 8 MiB.
+	MaxInflight int64
+	// RetryAfter is the wait hinted to a backpressured or shard-starved
+	// client. 0 defaults to 1s.
+	RetryAfter time.Duration
+	// Baseline, when set, names a baseline store file (journal or
+	// archive): the gate status endpoint compares collected records
+	// against it.
+	Baseline string
+	// Clock is the server's time source; nil means time.Now. Tests
+	// drive lease expiry through it.
+	Clock func() time.Time
+}
+
+// fill resolves the config's defaults.
+func (c *Config) fill() error {
+	if c.Dir == "" {
+		return fmt.Errorf("collector: Config.Dir is required (the collected stores live there)")
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return nil
+}
+
+// Server is the collector daemon: an http.Handler multiplexing many
+// experiments and many concurrent workers over sharded runstore
+// journals. Create one with New, serve it with net/http (or
+// httptest.NewServer in tests), and Close it when done.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	workers map[string]struct{}
+	exps    map[string]*experiment
+	seq     int // lease and worker name sequence
+	closed  bool
+}
+
+// experiment is one experiment's control state: its sharded store and
+// the shard pool leases are granted from.
+type experiment struct {
+	name     string
+	store    *shardstore.Store
+	shards   []shardState
+	leases   map[string]*lease
+	records  int64
+	inflight int64
+}
+
+// shard pool states.
+const (
+	shardFree = iota
+	shardLeased
+	shardDone
+)
+
+type shardState struct {
+	state int
+	l     *lease // set iff state == shardLeased
+}
+
+// lease is one worker's TTL-bounded exclusive claim on a shard.
+type lease struct {
+	id      string
+	exp     *experiment
+	shard   int
+	worker  string
+	expires time.Time
+}
+
+// New returns a Server for cfg.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		workers: make(map[string]struct{}),
+		exps:    make(map[string]*experiment),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathRegister, s.handleRegister)
+	mux.HandleFunc("POST "+PathAcquire, s.handleAcquire)
+	mux.HandleFunc("POST "+PathRenew, s.handleRenew)
+	mux.HandleFunc("POST "+PathRelease, s.handleRelease)
+	mux.HandleFunc("POST "+PathIngest, s.handleIngest)
+	mux.HandleFunc("GET "+PathSnapshot, s.handleSnapshot)
+	mux.HandleFunc("GET "+PathStatus, s.handleStatus)
+	mux.HandleFunc("GET "+PathCells, s.handleCells)
+	mux.HandleFunc("GET "+PathGate, s.handleGate)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close closes every experiment store. In-flight handlers racing Close
+// fail their appends loudly (the journals are closed), never silently.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, e := range s.exps {
+		if err := e.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// experimentLocked returns (creating on first touch) the control state
+// for one experiment. Callers hold s.mu.
+func (s *Server) experimentLocked(name string) (*experiment, error) {
+	if e, ok := s.exps[name]; ok {
+		return e, nil
+	}
+	if s.closed {
+		return nil, fmt.Errorf("collector: server is closed")
+	}
+	st, err := shardstore.Open(s.cfg.Dir, name, s.cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	e := &experiment{
+		name:   name,
+		store:  st,
+		shards: make([]shardState, s.cfg.Shards),
+		leases: make(map[string]*lease),
+	}
+	s.exps[name] = e
+	return e, nil
+}
+
+// sweepLocked enforces lease expiry lazily: every expired lease is
+// dropped and its shard returned to the free pool, where the next
+// acquire warm-starts it. Callers hold s.mu.
+func (s *Server) sweepLocked(e *experiment, now time.Time) {
+	for id, l := range e.leases {
+		if now.After(l.expires) {
+			e.shards[l.shard] = shardState{state: shardFree}
+			delete(e.leases, id)
+		}
+	}
+}
+
+// leaseLocked resolves a live lease id across experiments, sweeping
+// expiry first — a lease that expired reads as gone, exactly what its
+// (possibly still running) former owner must observe. Callers hold s.mu.
+func (s *Server) leaseLocked(id string, now time.Time) (*lease, bool) {
+	for _, e := range s.exps {
+		s.sweepLocked(e, now)
+		if l, ok := e.leases[id]; ok {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// handleRegister announces a worker, assigning a name when none is
+// offered. Registration is advisory — acquire registers implicitly —
+// but gives fleets stable names for the status view.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("collector: bad register request: %v", err))
+		return
+	}
+	s.mu.Lock()
+	if req.Worker == "" {
+		s.seq++
+		req.Worker = "worker-" + strconv.Itoa(s.seq)
+	}
+	s.workers[req.Worker] = struct{}{}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, RegisterResponse{Worker: req.Worker})
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// retryAfterHeader sets the Retry-After hint in whole seconds (minimum
+// 1 — zero would tell clients to hammer).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// sortedWorkers snapshots the registered worker names, sorted for a
+// deterministic status body. Callers hold s.mu.
+func (s *Server) sortedWorkersLocked() []string {
+	names := make([]string, 0, len(s.workers))
+	for name := range s.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,66 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The collector's ingest and snapshot streams carry records in exactly
+// the journal's line framing — one JSON object per '\n'-terminated line —
+// so the wire format and the at-rest format are one format, with one
+// framing rule and one torn-tail rule (scanJournal). What differs is the
+// meaning of an unterminated trailing record: on disk it is a crash tail
+// to truncate and resume past; on the wire it is a truncated upload the
+// receiver must reject, because "resume" for a network stream is the
+// sender retrying, not the receiver guessing.
+
+// EncodeWire writes one record to w in the journal/wire line framing:
+// the record's canonical JSON marshaling followed by '\n', the exact
+// bytes Journal.Append would persist. The record is validated and
+// canonicalized (NormalizeAppend) first so a wire stream can never carry
+// a record a store would refuse to append.
+func EncodeWire(w io.Writer, rec Record) error {
+	rec, err := NormalizeAppend(rec)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.Write(line); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
+}
+
+// DecodeWire reads a wire stream of line-framed records from r, calling
+// fn with each decoded, canonicalized record in stream order, and
+// returns how many records fn accepted. A record fn rejects stops the
+// stream with fn's error. Unlike a journal open, a torn (unterminated,
+// undecodable) trailing line is an error — on the wire it means the
+// sender was cut off mid-record, and accepting the valid prefix would
+// let a partial upload masquerade as a complete one.
+func DecodeWire(r io.Reader, fn func(Record) error) (int, error) {
+	n := 0
+	_, torn, err := scanJournal(r, func(rec Record, _ Extent) error {
+		rec, err := NormalizeAppend(rec)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if torn {
+		return n, fmt.Errorf("runstore: wire stream truncated mid-record after %d record(s)", n)
+	}
+	return n, nil
+}

@@ -39,4 +39,11 @@
 // unit is appended — and therefore durable, per the Store contract —
 // before its result enters the ResultSet, so a crash never loses
 // completed work, only work in flight.
+//
+// The Store seam is what makes the scheduler distribution-agnostic: the
+// collector worker (internal/collector/client) hands Options.Store a
+// remote-store adapter that spools locally and streams appends to a
+// collector daemon, and the scheduler neither knows nor cares — the
+// same warm-start Lookup replays units other machines already ran, and
+// the same Shards/Shard partition bounds what this process executes.
 package sched

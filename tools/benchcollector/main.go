@@ -1,0 +1,195 @@
+// Command benchcollector measures the run collector's ingest path and
+// writes the BENCH_collector.json snapshot: streaming throughput
+// (records/s) at increasing worker concurrency, plus the wall time of
+// the merge-after-collect step that folds the collector's shard stores
+// into one canonical journal.
+//
+// The workload isolates the collection machinery itself: synthetic
+// pre-built records are streamed through the real HTTP stack (loopback
+// TCP, the production client batching path, per-experiment backpressure
+// armed), so the numbers track the wire framing, admission control, and
+// shard-store append path rather than any experiment runner.
+//
+// Run via `make bench-collector`; regenerate after collector-path
+// changes and commit the diff alongside them.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/collector/client"
+	"repro/internal/runstore"
+	"repro/internal/runstore/shardstore"
+)
+
+// benchExperiment names the synthetic workload's experiment.
+const benchExperiment = "bench ingest"
+
+// result is one fleet configuration's measurement.
+type result struct {
+	Workers          int     `json:"workers"`
+	Records          int     `json:"records"`
+	Batch            int     `json:"batch"`
+	IngestSeconds    float64 `json:"ingest_seconds"`
+	RecordsPerSecond float64 `json:"records_per_second"`
+	MergeSeconds     float64 `json:"merge_seconds"`
+	MergedRecords    int     `json:"merged_records"`
+}
+
+// snapshot is the BENCH_collector.json document.
+type snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Note      string   `json:"note"`
+	Runs      []result `json:"runs"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_collector.json", "snapshot output path")
+	total := flag.Int("records", 20000, "records streamed per fleet configuration")
+	batch := flag.Int("batch", 256, "records per ingest batch")
+	flag.Parse()
+
+	snap := snapshot{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Note:      "synthetic records over loopback HTTP; one shard lease per worker; merge folds the collector's shard stores into one canonical journal",
+	}
+	for _, fleet := range []int{1, 4, 16} {
+		r, err := run(fleet, *total, *batch)
+		if err != nil {
+			log.Fatalf("benchcollector: %d worker(s): %v", fleet, err)
+		}
+		fmt.Printf("%2d worker(s): %d records ingested in %.3fs (%.0f records/s), merged in %.3fs\n",
+			fleet, r.Records, r.IngestSeconds, r.RecordsPerSecond, r.MergeSeconds)
+		snap.Runs = append(snap.Runs, r)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatalf("benchcollector: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("benchcollector: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// run measures one fleet configuration: `fleet` concurrent workers,
+// each holding one shard lease of a `fleet`-shard experiment, streaming
+// its pre-bucketed share of `total` records in `batch`-record ingests.
+func run(fleet, total, batch int) (result, error) {
+	dir, err := os.MkdirTemp("", "benchcollector-")
+	if err != nil {
+		return result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := collector.New(collector.Config{Dir: dir, Shards: fleet})
+	if err != nil {
+		return result{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return result{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Pre-build and pre-bucket the records so the timed section is pure
+	// collection: encode, ship, admit, append.
+	buckets := make([][]runstore.Record, fleet)
+	for i := 0; i < total; i++ {
+		rec, err := runstore.NormalizeAppend(runstore.Record{
+			Experiment: benchExperiment,
+			Row:        i % 2000,
+			Replicate:  i / 2000,
+			Assignment: map[string]string{"cell": strconv.Itoa(i % 2000)},
+			Responses:  map[string]float64{"ms": float64(i%97) + 0.5},
+		})
+		if err != nil {
+			return result{}, err
+		}
+		shard := runstore.ShardIndex(rec.Hash, fleet)
+		buckets[shard] = append(buckets[shard], rec)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, fleet)
+	for k := 0; k < fleet; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[k] = stream(base, fmt.Sprintf("bench-%d", k), buckets, batch)
+		}()
+	}
+	wg.Wait()
+	ingest := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return result{}, err
+		}
+	}
+
+	mergeStart := time.Now()
+	merged := filepath.Join(dir, "merged.jsonl")
+	ms, err := runstore.Merge(shardstore.Paths(dir, benchExperiment, fleet), merged)
+	if err != nil {
+		return result{}, err
+	}
+	mergeWall := time.Since(mergeStart)
+	if ms.Kept != total {
+		return result{}, fmt.Errorf("merge kept %d record(s), want %d", ms.Kept, total)
+	}
+	return result{
+		Workers:          fleet,
+		Records:          total,
+		Batch:            batch,
+		IngestSeconds:    ingest.Seconds(),
+		RecordsPerSecond: float64(total) / ingest.Seconds(),
+		MergeSeconds:     mergeWall.Seconds(),
+		MergedRecords:    ms.Kept,
+	}, nil
+}
+
+// stream is one bench worker: acquire a shard lease, ingest that
+// shard's bucket in batches, release complete.
+func stream(base, name string, buckets [][]runstore.Record, batch int) error {
+	ctx := context.Background()
+	c := client.New(base, nil)
+	grant, err := c.Acquire(ctx, name, benchExperiment)
+	if err != nil {
+		return err
+	}
+	recs := buckets[grant.Shard]
+	for len(recs) > 0 {
+		n := min(batch, len(recs))
+		if err := c.Ingest(ctx, grant.Lease, recs[:n]); err != nil {
+			return err
+		}
+		recs = recs[n:]
+	}
+	return c.Release(ctx, grant.Lease, true)
+}

@@ -37,6 +37,8 @@ var checkedPackages = []string{
 	"internal/sched",
 	"internal/adaptive",
 	"internal/harness",
+	"internal/collector",
+	"internal/collector/client",
 }
 
 // checkedMarkdown are the markdown files (or directories of them) whose
