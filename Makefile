@@ -31,9 +31,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomizes test order so inter-test coupling (shared
+# default registries, leftover env) surfaces in CI instead of in prod.
 .PHONY: race
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 .PHONY: bench
 bench:

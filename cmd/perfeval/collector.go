@@ -22,6 +22,7 @@ func serveCmd(ctx context.Context, w io.Writer, props *config.Properties) error 
 		Addr:     props.GetOr("collector.addr", ""),
 		Dir:      dir,
 		Baseline: props.GetOr("collector.baseline", ""),
+		LogLevel: props.GetOr("collector.log", ""),
 		Ready: func(addr string) {
 			fmt.Fprintf(w, "collector listening on %s, store dir %s\n", addr, dir)
 		},
@@ -80,6 +81,31 @@ func workCmd(ctx context.Context, w io.Writer, props *config.Properties, ids []s
 	return nil
 }
 
+// metricsCmd is the metrics subcommand: it polls a running collector
+// daemon's GET /v1/metrics endpoint and prints the snapshot —
+// Prometheus text format by default, JSON with -Dmetrics.format=json.
+func metricsCmd(ctx context.Context, w io.Writer, props *config.Properties) error {
+	url := props.GetOr("collector.url", "")
+	if url == "" {
+		return fmt.Errorf("metrics needs -Dcollector.url=URL (the collector's base URL, e.g. http://host:8080)")
+	}
+	format := props.GetOr("metrics.format", "")
+	switch format {
+	case "", "prometheus", "text", "json":
+	default:
+		return fmt.Errorf("metrics.format = %q, want prometheus or json", format)
+	}
+	body, err := repro.FetchMetrics(ctx, url, format)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, body)
+	if body != "" && body[len(body)-1] != '\n' {
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
 // buildWorkConfig maps the collector.url, worker.*, and sched.*
 // properties onto a repro.WorkConfig.
 func buildWorkConfig(props *config.Properties) (repro.WorkConfig, error) {
@@ -87,6 +113,7 @@ func buildWorkConfig(props *config.Properties) (repro.WorkConfig, error) {
 		URL:      props.GetOr("collector.url", ""),
 		Name:     props.GetOr("worker.name", ""),
 		SpoolDir: props.GetOr("worker.spool", ""),
+		LogLevel: props.GetOr("collector.log", ""),
 	}
 	if cfg.URL == "" {
 		return cfg, fmt.Errorf("work needs -Dcollector.url=URL (the collector's base URL, e.g. http://host:8080)")

@@ -5,8 +5,9 @@
 //	perfeval list
 //	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR] [-Dstore=journal|archive]
 //	perfeval run <id>|all -Dsched.shards=N -Dsched.shard=K -Djournal.dir=DIR
-//	perfeval serve -Dcollector.dir=DIR [-Dcollector.addr=:8080] [-Dcollector.shards=N]
+//	perfeval serve -Dcollector.dir=DIR [-Dcollector.addr=:8080] [-Dcollector.shards=N] [-Dcollector.log=debug|info|quiet]
 //	perfeval work <id>|all -Dcollector.url=http://host:8080 [-Dsched.workers=N]
+//	perfeval metrics -Dcollector.url=http://host:8080 [-Dmetrics.format=prometheus|json]
 //	perfeval shard-plan <id>|all -Dsched.shards=N [-Djournal.dir=DIR]
 //	perfeval merge <out.jsonl|out.arch> <src.jsonl|src.arch>... [-Dmerge.strict=true]
 //	perfeval archive <out.arch> <src.jsonl|src.arch>...
@@ -70,6 +71,14 @@
 // /v1/status endpoints expose worker, lease, per-cell replicate, and
 // (with -Dcollector.baseline) regression-gate state. The wire protocol
 // is documented in docs/COLLECTOR.md.
+//
+// Observability: the daemon and worker log structured events through
+// log/slog at the level -Dcollector.log selects (debug, info — the
+// default — or quiet), and every layer instruments itself into the
+// self-measurement registry (internal/obs; docs/OBSERVABILITY.md
+// catalogs the series). `perfeval metrics` polls a running daemon's
+// GET /v1/metrics endpoint and prints the snapshot in the Prometheus
+// text format, or JSON with -Dmetrics.format=json.
 //
 // The archive store (-Dstore=archive) swaps the per-experiment JSONL
 // journal for the block-indexed single-file archive
@@ -140,7 +149,7 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 		return err
 	}
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: perfeval list | run <id>|all | serve | work <id>|all | shard-plan <id>|all | merge <out> <src>... | archive <out.arch> <src>... | inspect <file>... | diff <baseline> <current> | compact <journal> | suite")
+		return fmt.Errorf("usage: perfeval list | run <id>|all | serve | work <id>|all | metrics | shard-plan <id>|all | merge <out> <src>... | archive <out.arch> <src>... | inspect <file>... | diff <baseline> <current> | compact <journal> | suite")
 	}
 	switch rest[0] {
 	case "list":
@@ -166,6 +175,12 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 			return fmt.Errorf("usage: perfeval work <id>|all -Dcollector.url=URL [-Dsched.workers=N] [-Dworker.name=NAME] [-Dworker.spool=DIR] [-Dworker.flush=N]")
 		}
 		return workCmd(ctx, w, props, rest[1:])
+
+	case "metrics":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: perfeval metrics -Dcollector.url=URL [-Dmetrics.format=prometheus|json]")
+		}
+		return metricsCmd(ctx, w, props)
 
 	case "shard-plan":
 		if len(rest) != 2 {
@@ -221,7 +236,7 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, serve, work, shard-plan, merge, archive, inspect, diff, compact, or suite)", rest[0])
+		return fmt.Errorf("unknown command %q (want list, run, serve, work, metrics, shard-plan, merge, archive, inspect, diff, compact, or suite)", rest[0])
 	}
 }
 

@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -39,15 +41,24 @@ var (
 type Client struct {
 	base string
 	hc   *http.Client
+	met  *clientMetrics
+	log  *slog.Logger
 }
 
 // New returns a Client for the collector at base (e.g.
-// "http://host:8080"). httpClient nil means http.DefaultClient.
+// "http://host:8080"). httpClient nil means http.DefaultClient. The
+// client's instruments register in obs.Default() and its log is
+// discarded; SetMetrics and SetLogger override both.
 func New(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, hc: httpClient}
+	return &Client{
+		base: base,
+		hc:   httpClient,
+		met:  newClientMetrics(obs.Default()),
+		log:  discardLogger(),
+	}
 }
 
 // Register announces the worker, returning the (server-assigned when
@@ -146,10 +157,19 @@ func (c *Client) Ingest(ctx context.Context, lease string, recs []runstore.Recor
 		switch httpResp.StatusCode {
 		case http.StatusOK:
 			drain(httpResp)
+			c.met.streamed.Add(int64(len(recs)))
+			c.met.ingestBytes.Add(int64(len(payload)))
+			c.met.batches.Inc()
+			c.log.Debug("ingest batch acknowledged",
+				"lease", lease, "records", len(recs), "bytes", len(payload))
 			return nil
 		case http.StatusTooManyRequests:
 			wait := retryAfter(httpResp)
 			drain(httpResp)
+			c.met.waits.Inc()
+			c.met.waitMs.Add(wait.Milliseconds())
+			c.log.Debug("ingest backpressured, honoring Retry-After",
+				"lease", lease, "wait", wait)
 			select {
 			case <-time.After(wait):
 				continue // the batch is re-sent whole; the store is last-wins

@@ -125,6 +125,7 @@ func (r *remoteStore) Append(rec runstore.Record) error {
 	if err := r.local.Append(rec); err != nil {
 		return err
 	}
+	r.c.met.spooled.Inc()
 	r.buf = append(r.buf, rec)
 	if len(r.buf) >= r.every {
 		return r.flushLocked()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/collector"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/runstore/shardstore"
 	"repro/internal/sched"
 )
@@ -40,6 +42,13 @@ type Options struct {
 	AcquireWait time.Duration
 	// HTTPClient overrides the transport; nil means http.DefaultClient.
 	HTTPClient *http.Client
+	// Metrics is the registry the worker's instruments (and its
+	// scheduler's) register in; nil means the process-wide obs.Default().
+	Metrics *obs.Registry
+	// Logger receives the worker's structured log; nil discards. The
+	// perfeval work command wires it to stderr at the level chosen by
+	// -Dcollector.log.
+	Logger *slog.Logger
 }
 
 // Report accumulates what a Worker did across every shard it served.
@@ -76,8 +85,21 @@ func NewWorker(opts Options) (*Worker, error) {
 	if opts.AcquireWait <= 0 {
 		opts.AcquireWait = time.Second
 	}
-	return &Worker{opts: opts, c: New(opts.URL, opts.HTTPClient)}, nil
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default()
+	}
+	if opts.Logger == nil {
+		opts.Logger = discardLogger()
+	}
+	c := New(opts.URL, opts.HTTPClient)
+	c.SetMetrics(opts.Metrics)
+	c.SetLogger(opts.Logger)
+	return &Worker{opts: opts, c: c}, nil
 }
+
+// MetricsSnapshot returns a point-in-time snapshot of the registry the
+// worker's instruments live in (Options.Metrics or the process default).
+func (w *Worker) MetricsSnapshot() obs.Snapshot { return w.opts.Metrics.Snapshot() }
 
 var _ harness.Executor = (*Worker)(nil)
 
@@ -188,6 +210,8 @@ func (w *Worker) runShard(ctx context.Context, e *harness.Experiment, spool stri
 		}
 	}()
 
+	w.opts.Logger.Info("shard run starting", "worker", w.name, "lease", grant.Lease,
+		"experiment", e.Name, "shard", grant.Shard, "shards", grant.Shards, "warm", len(warm))
 	s := sched.New(sched.Options{
 		Workers: w.opts.Workers,
 		Retries: w.opts.Retries,
@@ -195,6 +219,7 @@ func (w *Worker) runShard(ctx context.Context, e *harness.Experiment, spool stri
 		Store:   store,
 		Shards:  grant.Shards,
 		Shard:   grant.Shard,
+		Metrics: w.opts.Metrics,
 	})
 	rs, runErr := s.Execute(shardCtx, e)
 	stopRenew()
@@ -229,6 +254,9 @@ func (w *Worker) runShard(ctx context.Context, e *harness.Experiment, spool stri
 	w.mu.Lock()
 	w.report.Shards++
 	w.mu.Unlock()
+	w.opts.Logger.Info("shard run complete", "worker", w.name, "lease", grant.Lease,
+		"experiment", e.Name, "shard", grant.Shard,
+		"executed", st.Executed, "replayed", st.Replayed, "streamed", store.Streamed())
 	return rs, nil
 }
 

@@ -2,6 +2,7 @@ package collector
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/runstore"
@@ -43,16 +44,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		reserve = 0
 	}
 	if e.inflight > 0 && e.inflight+reserve > s.cfg.MaxInflight {
+		inflight := e.inflight
 		s.mu.Unlock()
+		s.met.ingestReject.Inc()
+		s.log.Debug("ingest backpressured", "experiment", e.name,
+			"inflight", inflight, "declared", reserve)
 		retryAfterHeader(w, s.cfg.RetryAfter)
 		writeError(w, http.StatusTooManyRequests,
-			fmt.Sprintf("collector: %s: ingest budget full (%d in-flight byte(s))", e.name, e.inflight))
+			fmt.Sprintf("collector: %s: ingest budget full (%d in-flight byte(s))", e.name, inflight))
 		return
 	}
 	e.inflight += reserve
 	store, shard, shards := e.store, l.shard, len(e.shards)
 	s.mu.Unlock()
+	s.met.inflightBytes.Add(reserve)
 	defer func() {
+		s.met.inflightBytes.Add(-reserve)
 		s.mu.Lock()
 		e.inflight -= reserve
 		s.mu.Unlock()
@@ -61,7 +68,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Decode and append outside the control-state lock: the sharded
 	// store carries its own per-journal locking, so batches for
 	// different shards write concurrently.
-	n, err := runstore.DecodeWire(r.Body, func(rec runstore.Record) error {
+	body := &countingReader{r: r.Body}
+	n, err := runstore.DecodeWire(body, func(rec runstore.Record) error {
 		if rec.Experiment != e.name {
 			return &ingestConflict{fmt.Sprintf("collector: record %s belongs to experiment %q, lease %s owns %q",
 				rec.Key(), rec.Experiment, id, e.name)}
@@ -75,6 +83,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	e.records += int64(n)
 	s.mu.Unlock()
+	s.met.ingestRecords.Add(int64(n))
+	s.met.ingestBytes.Add(body.n)
 	if err != nil {
 		if c, ok := err.(*ingestConflict); ok {
 			writeError(w, http.StatusConflict, c.msg)
@@ -84,6 +94,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Appended: n})
+}
+
+// countingReader counts the bytes actually read from the request body —
+// what the ingest byte counter reports, as opposed to the declared
+// Content-Length the backpressure budget reserves.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // ingestConflict marks a record that does not belong to its lease — the

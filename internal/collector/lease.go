@@ -37,6 +37,7 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Worker != "" {
 		s.workers[req.Worker] = struct{}{}
+		s.met.workers.Set(int64(len(s.workers)))
 	}
 	s.sweepLocked(e, now)
 	free, done := -1, 0
@@ -70,6 +71,9 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	}
 	e.shards[free] = shardState{state: shardLeased, l: l}
 	e.leases[l.id] = l
+	s.met.leaseAcquired.Inc()
+	s.log.Info("lease granted", "lease", l.id, "worker", l.worker,
+		"experiment", e.name, "shard", l.shard, "shards", len(e.shards))
 	writeJSON(w, http.StatusOK, AcquireResponse{
 		Lease:     l.id,
 		Shard:     l.shard,
@@ -97,6 +101,8 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	l.expires = now.Add(s.cfg.LeaseTTL)
+	s.met.leaseRenewed.Inc()
+	s.log.Debug("lease renewed", "lease", l.id, "worker", l.worker)
 	writeJSON(w, http.StatusOK, RenewResponse{TTLMillis: s.cfg.LeaseTTL.Milliseconds()})
 }
 
@@ -124,5 +130,8 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	l.exp.shards[l.shard] = shardState{state: state}
 	delete(l.exp.leases, l.id)
+	s.met.leaseReleased.Inc()
+	s.log.Info("lease released", "lease", l.id, "worker", l.worker,
+		"experiment", l.exp.name, "shard", l.shard, "complete", req.Complete)
 	w.WriteHeader(http.StatusNoContent)
 }

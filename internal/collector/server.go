@@ -3,12 +3,15 @@ package collector
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runstore/shardstore"
 )
 
@@ -39,6 +42,16 @@ type Config struct {
 	// Clock is the server's time source; nil means time.Now. Tests
 	// drive lease expiry through it.
 	Clock func() time.Time
+	// Metrics is the registry the daemon's instruments register in; nil
+	// means the process-wide obs.Default(), which is what a deployed
+	// daemon wants — /v1/metrics then also exposes the runstore and
+	// scheduler series of the same process. Tests pass a private
+	// registry to assert exact counts.
+	Metrics *obs.Registry
+	// Logger receives the daemon's structured log; nil discards. The
+	// perfeval serve command wires it to stderr at the level chosen by
+	// -Dcollector.log.
+	Logger *slog.Logger
 }
 
 // fill resolves the config's defaults.
@@ -61,7 +74,18 @@ func (c *Config) fill() error {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	if c.Logger == nil {
+		c.Logger = discardLogger()
+	}
 	return nil
+}
+
+// discardLogger is the nil-Logger default: structure without output.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 // Server is the collector daemon: an http.Handler multiplexing many
@@ -71,6 +95,9 @@ func (c *Config) fill() error {
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
+	reg *obs.Registry
+	met *serverMetrics
+	log *slog.Logger
 
 	mu      sync.Mutex
 	workers map[string]struct{}
@@ -118,6 +145,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
+		reg:     cfg.Metrics,
+		met:     newServerMetrics(cfg.Metrics),
+		log:     cfg.Logger,
 		workers: make(map[string]struct{}),
 		exps:    make(map[string]*experiment),
 	}
@@ -131,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET "+PathStatus, s.handleStatus)
 	mux.HandleFunc("GET "+PathCells, s.handleCells)
 	mux.HandleFunc("GET "+PathGate, s.handleGate)
+	mux.HandleFunc("GET "+PathMetrics, s.handleMetrics)
 	s.mux = mux
 	return s, nil
 }
@@ -187,6 +218,12 @@ func (s *Server) sweepLocked(e *experiment, now time.Time) {
 		if now.After(l.expires) {
 			e.shards[l.shard] = shardState{state: shardFree}
 			delete(e.leases, id)
+			s.met.leaseExpired.Inc()
+			// The handoff must be diagnosable from the daemon log alone:
+			// this is the only place a dead worker's shard changes hands.
+			s.log.Info("lease expired, shard returned to pool",
+				"lease", id, "worker", l.worker,
+				"experiment", e.name, "shard", l.shard)
 		}
 	}
 }
@@ -219,7 +256,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		req.Worker = "worker-" + strconv.Itoa(s.seq)
 	}
 	s.workers[req.Worker] = struct{}{}
+	s.met.workers.Set(int64(len(s.workers)))
 	s.mu.Unlock()
+	s.log.Debug("worker registered", "worker", req.Worker)
 	writeJSON(w, http.StatusOK, RegisterResponse{Worker: req.Worker})
 }
 

@@ -30,6 +30,10 @@ const (
 	// PathGate gates an experiment against the configured baseline
 	// (GET, ?experiment=).
 	PathGate = "/v1/status/gate"
+	// PathMetrics exposes the server's metrics registry (GET) in the
+	// Prometheus text format, or JSON via ?format=json or an
+	// Accept: application/json header.
+	PathMetrics = "/v1/metrics"
 )
 
 // RegisterRequest announces a worker to the collector. An empty Worker

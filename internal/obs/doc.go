@@ -1,0 +1,37 @@
+// Package obs is the repository's self-measurement layer: a
+// dependency-free, race-clean metrics registry with counters, gauges,
+// and fixed-bucket histograms, built for hot paths.
+//
+// The design follows the source paper's own discipline — a system that
+// evaluates performance must be able to observe itself without
+// perturbing what it measures:
+//
+//   - Hot-path operations (Counter.Add, Gauge.Set, Histogram.Observe)
+//     are single atomic instructions plus, for histograms, a short
+//     linear bucket walk. No locks, no allocation, no map lookups:
+//     instruments are resolved once at registration and held as
+//     pointers by the instrumented code.
+//   - Registration (Registry.Counter/Gauge/Histogram) is get-or-create
+//     under a mutex: the same name always yields the same instrument,
+//     so concurrent components share counters safely. Registering an
+//     existing name as a different kind panics — that is a programming
+//     error, not a runtime condition.
+//   - Snapshot is a point-in-time copy readable while every hot path
+//     keeps writing. A snapshot taken mid-update is internally
+//     monotone per instrument but makes no cross-instrument atomicity
+//     promise (a histogram's sum and count are read independently) —
+//     the standard exposition contract.
+//
+// Two exposition encoders serve every snapshot: the Prometheus text
+// format (Snapshot.WritePrometheus) and JSON (Snapshot marshals
+// directly). The collector daemon's GET /v1/metrics endpoint serves
+// both; docs/OBSERVABILITY.md catalogs the metric names the repository
+// emits and the stability policy governing them.
+//
+// Default is the process-wide registry. Layers that have no natural
+// configuration seam (internal/runstore) instrument into it
+// unconditionally; layers that do (internal/sched, internal/collector,
+// internal/collector/client) default to it but accept a private
+// registry for isolation — that is how tests assert exact counts and
+// how one process hosts several instrumented servers.
+package obs

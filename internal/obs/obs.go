@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric: events, records, bytes.
+// Add and Inc are lock-free atomic operations safe on any hot path.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters are monotone; callers must not pass negative n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that goes up and down: queue depth, live workers,
+// in-flight bytes. Set and Add are lock-free atomic operations.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed cumulative buckets —
+// the latency-distribution instrument. Observe is lock-free: one
+// linear walk over the (small, fixed) bound slice, two atomic adds,
+// and a CAS loop for the floating-point sum.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // sorted inclusive upper bounds; +Inf implied
+	counts     []atomic.Int64
+	inf        atomic.Int64
+	count      atomic.Int64
+	sum        atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := -1
+	for i, ub := range h.bounds {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond scheduler units to multi-second experiment runs.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds named instruments. Registration is get-or-create: the
+// same name always returns the same instrument, so independently
+// initialized components share series without coordination. A Registry
+// is safe for concurrent use; the zero value is not usable — construct
+// with NewRegistry or use Default.
+type Registry struct {
+	mu    sync.Mutex
+	named map[string]any // *Counter | *Gauge | *Histogram
+	order []string       // registration order, for stable iteration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{named: make(map[string]any)}
+}
+
+// defaultRegistry is the process-wide registry behind Default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry — the one every
+// instrumented layer writes to unless handed a private registry.
+func Default() *Registry { return defaultRegistry }
+
+// nameRE is the Prometheus metric-name grammar; registering a name
+// outside it panics so an invalid series cannot reach an exposition
+// endpoint.
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// register is the get-or-create core; make builds the instrument on
+// first registration.
+func (r *Registry) register(name, kind string, make func() any) any {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.named[name]; ok {
+		if kindOf(m) != kind {
+			panic(fmt.Sprintf("obs: metric %q already registered as a %s, not a %s", name, kindOf(m), kind))
+		}
+		return m
+	}
+	m := make()
+	r.named[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// kindOf names an instrument's kind for snapshots and mismatch panics.
+func kindOf(m any) string {
+	switch m.(type) {
+	case *Counter:
+		return "counter"
+	case *Gauge:
+		return "gauge"
+	case *Histogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Counter returns (creating if absent) the named counter. Registering
+// the name as any other kind panics.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, "counter", func() any {
+		return &Counter{name: name, help: help}
+	}).(*Counter)
+}
+
+// Gauge returns (creating if absent) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, "gauge", func() any {
+		return &Gauge{name: name, help: help}
+	}).(*Gauge)
+}
+
+// Histogram returns (creating if absent) the named histogram with the
+// given inclusive upper bucket bounds (+Inf is implicit; nil means
+// DefBuckets). Bounds must be sorted ascending; the bounds of an
+// already-registered histogram win silently — buckets are a property
+// of the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, "histogram", func() any {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bucket bounds not strictly ascending", name))
+			}
+		}
+		b := append([]float64(nil), bounds...)
+		return &Histogram{name: name, help: help, bounds: b, counts: make([]atomic.Int64, len(b))}
+	}).(*Histogram)
+}
+
+// Snapshot returns a point-in-time copy of every registered instrument,
+// sorted by name. It is safe to call while every hot path keeps
+// writing; see the package comment for the consistency contract.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	instruments := make([]any, len(names))
+	for i, n := range names {
+		instruments[i] = r.named[n]
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{Metrics: make([]Metric, 0, len(names))}
+	for i, name := range names {
+		switch m := instruments[i].(type) {
+		case *Counter:
+			s.Metrics = append(s.Metrics, Metric{
+				Name: name, Type: "counter", Help: m.help, Value: float64(m.Value()),
+			})
+		case *Gauge:
+			s.Metrics = append(s.Metrics, Metric{
+				Name: name, Type: "gauge", Help: m.help, Value: float64(m.Value()),
+			})
+		case *Histogram:
+			met := Metric{Name: name, Type: "histogram", Help: m.help, Sum: m.Sum()}
+			cum := int64(0)
+			for j, ub := range m.bounds {
+				cum += m.counts[j].Load()
+				met.Buckets = append(met.Buckets, Bucket{LE: formatLE(ub), Count: cum})
+			}
+			cum += m.inf.Load()
+			met.Buckets = append(met.Buckets, Bucket{LE: "+Inf", Count: cum})
+			// Count is the +Inf cumulative by construction, so the
+			// exposition invariant _count == bucket{le="+Inf"} holds even
+			// for a snapshot taken mid-Observe.
+			met.Count = cum
+			s.Metrics = append(s.Metrics, met)
+		}
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
+	return s
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events.")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+
+	// Get-or-create: the same name yields the same instrument.
+	if r.Counter("test_events_total", "Events.") != c {
+		t.Error("re-registering a counter returned a different instrument")
+	}
+	snap := r.Snapshot()
+	if m, ok := snap.Get("test_events_total"); !ok || m.Value != 42 || m.Type != "counter" {
+		t.Errorf("snapshot counter = %+v, %v", m, ok)
+	}
+	if m, ok := snap.Get("test_depth"); !ok || m.Value != 4 || m.Type != "gauge" {
+		t.Errorf("snapshot gauge = %+v, %v", m, ok)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-9 {
+		t.Errorf("sum = %g, want 5.605", h.Sum())
+	}
+	m, ok := r.Snapshot().Get("test_seconds")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	want := []Bucket{{"0.01", 1}, {"0.1", 3}, {"1", 4}, {"+Inf", 5}}
+	if len(m.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", m.Buckets, want)
+	}
+	for i, b := range m.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	if m.Count != 5 {
+		t.Errorf("snapshot count = %d, want 5 (the +Inf bucket)", m.Count)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_thing", "A counter.")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_thing", "Now a gauge?")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("bad name with spaces", "")
+}
+
+// promLineRE matches valid text-format lines: comments, plain samples,
+// and histogram bucket samples with an le label.
+var promLineRE = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [0-9eE.+-]+|[a-zA-Z_:][a-zA-Z0-9_:]* \+Inf)$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("obs_test_total", "Totals.").Add(3)
+	r.Gauge("obs_test_gauge", "A gauge.").Set(-2)
+	r.Histogram("obs_test_seconds", "Latency.", []float64{0.5}).Observe(0.25)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !promLineRE.MatchString(line) {
+			t.Errorf("line %d is not valid exposition format: %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE obs_test_total counter",
+		"obs_test_total 3",
+		"obs_test_gauge -2",
+		`obs_test_seconds_bucket{le="0.5"} 1`,
+		`obs_test_seconds_bucket{le="+Inf"} 1`,
+		"obs_test_seconds_sum 0.25",
+		"obs_test_seconds_count 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("obs_json_total", "Totals.").Add(9)
+	r.Histogram("obs_json_seconds", "Latency.", []float64{1}).Observe(2)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := back.Get("obs_json_total"); !ok || m.Value != 9 {
+		t.Errorf("round-tripped counter = %+v, %v", m, ok)
+	}
+	if m, ok := back.Get("obs_json_seconds"); !ok || m.Count != 1 {
+		t.Errorf("round-tripped histogram = %+v, %v", m, ok)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("obs_series_a_total", "")
+	r.Gauge("obs_series_b", "")
+	r.Histogram("obs_series_c_seconds", "", []float64{1, 2})
+	// 1 + 1 + (2 buckets + Inf + sum + count) = 7.
+	if got := r.Snapshot().Series(); got != 7 {
+		t.Errorf("Series() = %d, want 7", got)
+	}
+}
+
+// TestRegistryConcurrentHammer is the race-detector stress: concurrent
+// registration (same names from every goroutine), hot-path writes, and
+// snapshots/expositions must be race-clean and lose no counts.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("hammer_total", "").Inc()
+				r.Gauge("hammer_gauge", "").Add(1)
+				r.Histogram("hammer_seconds", "", []float64{0.5, 1}).Observe(float64(i%3) * 0.4)
+			}
+		}()
+	}
+	// Readers snapshot and render while the writers hammer.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				var sb strings.Builder
+				if err := snap.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := json.Marshal(snap); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	const want = goroutines * iters
+	snap := r.Snapshot()
+	if m, _ := snap.Get("hammer_total"); m.Value != want {
+		t.Errorf("counter lost updates: %v, want %d", m.Value, want)
+	}
+	if m, _ := snap.Get("hammer_gauge"); m.Value != want {
+		t.Errorf("gauge lost updates: %v, want %d", m.Value, want)
+	}
+	if m, _ := snap.Get("hammer_seconds"); m.Count != want {
+		t.Errorf("histogram lost observations: %d, want %d", m.Count, want)
+	}
+}

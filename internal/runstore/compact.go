@@ -74,6 +74,7 @@ func Compact(src, dst string) (CompactStats, error) {
 		if err := formatWrite.Write(dst, iter.Seq2[Record, error](seq), src); err != nil {
 			return cs, err
 		}
+		metCompactRecords.Add(int64(cs.Kept))
 		return cs, nil
 	}
 	err = atomicWrite(dst, src, func(w *bufio.Writer) error {
@@ -87,5 +88,6 @@ func Compact(src, dst string) (CompactStats, error) {
 	if err != nil {
 		return cs, err
 	}
+	metCompactRecords.Add(int64(cs.Kept))
 	return cs, nil
 }

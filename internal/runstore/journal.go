@@ -232,6 +232,7 @@ func (j *Journal) Scan() iter.Seq2[Record, error] {
 			j.mu.Lock()
 			rec := j.recs[k]
 			j.mu.Unlock()
+			metScanRecords.Inc()
 			if !yield(rec, nil) {
 				return
 			}
@@ -287,6 +288,9 @@ func (j *Journal) Append(rec Record) error {
 		return fmt.Errorf("runstore: %w", err)
 	}
 	j.index(rec)
+	metAppends.Inc()
+	metAppendBytes.Add(int64(len(line)))
+	metFsyncs.Inc()
 	return nil
 }
 

@@ -84,11 +84,13 @@ func MergeChecked(srcs []string, dst string, failOnConflict bool) (MergeStats, e
 		if err := f.Write(dst, plan.records(), srcs[0]); err != nil {
 			return ms, err
 		}
+		metMergeRecords.Add(int64(ms.Kept))
 		return ms, nil
 	}
 	if err := plan.writeJournal(dst, srcs[0]); err != nil {
 		return ms, err
 	}
+	metMergeRecords.Add(int64(ms.Kept))
 	return ms, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/runstore"
@@ -125,12 +126,21 @@ func (s *Scheduler) executeDynamic(ctx context.Context, e *harness.Experiment, j
 	// controller notices that a warm-started cell already shifted
 	// against its baseline and flags it — then feed priority cells
 	// ahead of the rest, both groups in stable row order.
+	if m := s.met; m != nil {
+		m.replayed.Add(int64(stats.Replayed))
+	}
 	batches := make([][]unit, rows)
 	for r, c := range cells {
 		target := ctrl.Target(c.key, c.completed)
 		if target <= c.completed && c.completed > 0 {
 			c.done = true
+			if m := s.met; m != nil {
+				m.adaptStop.Inc()
+			}
 			continue
+		}
+		if m := s.met; m != nil {
+			m.adaptGrow.Inc()
 		}
 		if target < 1 {
 			target = 1 // a cell with no measurements can claim nothing
@@ -200,7 +210,11 @@ func (s *Scheduler) runDynamicPool(ctx context.Context, e *harness.Experiment, j
 	for w := 0; w < workers; w++ {
 		go func() {
 			for u := range jobs {
+				start := time.Now()
 				resp, retried, err := s.runWithRetry(ctx, e, u)
+				if m := s.met; m != nil {
+					m.unitSeconds.Observe(time.Since(start).Seconds())
+				}
 				if err == nil && journal != nil {
 					err = journal.Append(runstore.Record{
 						Experiment: e.Name,
@@ -221,7 +235,15 @@ func (s *Scheduler) runDynamicPool(ctx context.Context, e *harness.Experiment, j
 	canceled := false
 	ctxDone := ctx.Done()
 	inflight := 0
+	// The dispatcher owns the queue, so a plain Set per iteration keeps
+	// the gauge exact without any coordination.
+	if m := s.met; m != nil {
+		defer m.queueDepth.Set(0)
+	}
 	for inflight > 0 || (firstErr == nil && !canceled && len(queue) > 0) {
+		if m := s.met; m != nil {
+			m.queueDepth.Set(int64(len(queue)))
+		}
 		var feed chan unit
 		var next unit
 		if firstErr == nil && !canceled && len(queue) > 0 {
@@ -241,6 +263,9 @@ func (s *Scheduler) runDynamicPool(ctx context.Context, e *harness.Experiment, j
 		case out := <-done:
 			inflight--
 			stats.Retried += out.retried
+			if m := s.met; m != nil && out.retried > 0 {
+				m.retried.Add(int64(out.retried))
+			}
 			if out.err != nil {
 				if ctx.Err() != nil {
 					// An attempt abandoned by cancellation is not a unit
@@ -259,6 +284,9 @@ func (s *Scheduler) runDynamicPool(ctx context.Context, e *harness.Experiment, j
 			ctrl.Observe(c.key, out.u.rep, declaredResponses(e, out.resp))
 			c.completed++
 			stats.Executed++
+			if m := s.met; m != nil {
+				m.executed.Inc()
+			}
 			if c.done || c.completed < c.scheduled {
 				continue
 			}
@@ -267,7 +295,13 @@ func (s *Scheduler) runDynamicPool(ctx context.Context, e *harness.Experiment, j
 			target := ctrl.Target(c.key, c.completed)
 			if target <= c.completed {
 				c.done = true
+				if m := s.met; m != nil {
+					m.adaptStop.Inc()
+				}
 				continue
+			}
+			if m := s.met; m != nil {
+				m.adaptGrow.Inc()
 			}
 			grown := make([]unit, 0, target-c.scheduled)
 			for rep := c.scheduled; rep < target; rep++ {

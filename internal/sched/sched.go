@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/design"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/runstore/shardstore"
 )
@@ -74,6 +75,10 @@ type Options struct {
 	Shards int
 	// Shard is this process's shard index in [0, Shards).
 	Shard int
+	// Metrics is the registry the scheduler's instruments register in;
+	// nil means the process-wide obs.Default(). Tests pass a private
+	// registry to assert exact counts in isolation.
+	Metrics *obs.Registry
 }
 
 // Stats counts what one Execute call did.
@@ -96,13 +101,26 @@ type Stats struct {
 // multiple goroutines; LastStats reports the most recent Execute.
 type Scheduler struct {
 	opts      Options
+	reg       *obs.Registry
+	met       *schedMetrics // nil disables instrumentation (benchmark baseline)
 	mu        sync.Mutex
 	last      Stats
 	lastCells []harness.CellStats
 }
 
 // New returns a Scheduler with the given options.
-func New(opts Options) *Scheduler { return &Scheduler{opts: opts} }
+func New(opts Options) *Scheduler {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Scheduler{opts: opts, reg: reg, met: newSchedMetrics(reg)}
+}
+
+// MetricsSnapshot returns a point-in-time snapshot of the registry the
+// scheduler's instruments live in (Options.Metrics or the process
+// default).
+func (s *Scheduler) MetricsSnapshot() obs.Snapshot { return s.reg.Snapshot() }
 
 // LastStats returns the stats of the most recently completed Execute.
 func (s *Scheduler) LastStats() Stats {
@@ -229,6 +247,10 @@ func (s *Scheduler) Execute(ctx context.Context, e *harness.Experiment) (*harnes
 		}
 	}
 	stats.Units = rows*reps - stats.Skipped
+	if m := s.met; m != nil {
+		m.replayed.Add(int64(stats.Replayed))
+		m.skipped.Add(int64(stats.Skipped))
+	}
 
 	if err := s.runPool(ctx, e, store, pending, results, &stats); err != nil {
 		return nil, err
@@ -297,7 +319,14 @@ func (s *Scheduler) runPool(ctx context.Context, e *harness.Experiment, store ru
 					return
 				default:
 				}
+				start := time.Now()
 				resp, retried, err := s.runWithRetry(ctx, e, u)
+				if m := s.met; m != nil {
+					m.unitSeconds.Observe(time.Since(start).Seconds())
+					if retried > 0 {
+						m.retried.Add(int64(retried))
+					}
+				}
 				statsMu.Lock()
 				stats.Retried += retried
 				statsMu.Unlock()
@@ -323,21 +352,37 @@ func (s *Scheduler) runPool(ctx context.Context, e *harness.Experiment, store ru
 					}
 				}
 				results[u.row][u.rep] = resp
+				if m := s.met; m != nil {
+					m.executed.Inc()
+				}
 				statsMu.Lock()
 				stats.Executed++
 				statsMu.Unlock()
 			}
 		}()
 	}
+	if m := s.met; m != nil {
+		m.queueDepth.Add(int64(len(pending)))
+	}
+	fed := 0
 feed:
 	for _, u := range pending {
 		select {
 		case jobs <- u:
+			fed++
+			if m := s.met; m != nil {
+				m.queueDepth.Add(-1)
+			}
 		case <-quit:
 			break feed
 		case <-ctx.Done():
 			break feed
 		}
+	}
+	if m := s.met; m != nil {
+		// An aborted feed leaves undispatched units; zero them out so the
+		// gauge never reports a queue that no longer exists.
+		m.queueDepth.Add(-int64(len(pending) - fed))
 	}
 	close(jobs)
 	wg.Wait()
@@ -409,6 +454,9 @@ func (s *Scheduler) attempt(ctx context.Context, e *harness.Experiment, u unit) 
 		return nil, fmt.Errorf("sched: %s run %d replicate %d abandoned: %w",
 			e.Name, u.row+1, u.rep+1, ctx.Err())
 	case <-timer.C:
+		if m := s.met; m != nil {
+			m.timedout.Inc()
+		}
 		return nil, fmt.Errorf("sched: %s run %d replicate %d timed out after %v",
 			e.Name, u.row+1, u.rep+1, s.opts.Timeout)
 	}

@@ -280,6 +280,10 @@ type Outcome struct {
 	// Budget itemizes per-cell replicate spend; nil unless the run was
 	// driven by adaptive replication.
 	Budget *Budget
+	// Metrics snapshots the scheduler's metrics registry after the run;
+	// nil on the sequential path, which schedules nothing and so has
+	// nothing to measure.
+	Metrics *Metrics
 }
 
 // Run regenerates the artifact with the given id (t1..t10, f1..f7,
@@ -305,7 +309,12 @@ func Run(ctx context.Context, id string, cfg RunConfig) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Result: r, Budget: takeBudget(s)}, nil
+	o := &Outcome{Result: r, Budget: takeBudget(s)}
+	if s != nil {
+		m := s.MetricsSnapshot()
+		o.Metrics = &m
+	}
+	return o, nil
 }
 
 // RunAll regenerates every artifact in paper order under ctx and cfg,

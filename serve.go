@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/collector"
@@ -40,6 +43,25 @@ type ServeConfig struct {
 	// Ready, when non-nil, is called exactly once with the bound listen
 	// address, after the listener is open and before serving begins.
 	Ready func(addr string)
+	// LogLevel selects the daemon's structured stderr log: "debug",
+	// "info" (also the "" default), or "quiet" to discard. Any other
+	// value is an error. It is the -Dcollector.log knob.
+	LogLevel string
+}
+
+// buildLogger maps a -Dcollector.log level to a structured stderr
+// logger ("quiet" discards).
+func buildLogger(level string) (*slog.Logger, error) {
+	switch level {
+	case "quiet":
+		return slog.New(slog.NewTextHandler(io.Discard, nil)), nil
+	case "", "info":
+		return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo})), nil
+	case "debug":
+		return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown log level %q (want debug, info, or quiet)", level)
+	}
 }
 
 // Serve runs the run collector daemon until ctx is canceled, then shuts
@@ -56,12 +78,17 @@ func Serve(ctx context.Context, cfg ServeConfig) error {
 	if addr == "" {
 		addr = ":8080"
 	}
+	logger, err := buildLogger(cfg.LogLevel)
+	if err != nil {
+		return err
+	}
 	srv, err := collector.New(collector.Config{
 		Dir:         cfg.Dir,
 		Shards:      cfg.Shards,
 		LeaseTTL:    cfg.LeaseTTL,
 		MaxInflight: cfg.MaxInflight,
 		Baseline:    cfg.Baseline,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
@@ -115,6 +142,10 @@ type WorkConfig struct {
 	// FlushEvery is the ingest batch size in records; < 1 means 32, and
 	// 1 streams every completed unit immediately.
 	FlushEvery int
+	// LogLevel selects the worker's structured stderr log: "debug",
+	// "info" (also the "" default), or "quiet" to discard. It is the
+	// -Dcollector.log knob of `perfeval work`.
+	LogLevel string
 }
 
 // WorkReport accounts for what one worker contributed to the fleet.
@@ -123,6 +154,10 @@ type WorkReport struct {
 	Executed int   // units executed live on this worker
 	Replayed int   // units replayed from warm-start snapshots or spool
 	Streamed int64 // records acknowledged by the collector
+	// Metrics snapshots the worker's metrics registry after the run:
+	// the sched_* series of its per-shard schedulers and the worker_*
+	// ingest/backpressure series.
+	Metrics *Metrics
 }
 
 // String renders the one-line account `perfeval work` prints after each
@@ -156,6 +191,10 @@ type WorkOutcome struct {
 // server acknowledged warm-start the shard's next owner. Cancel ctx to
 // interrupt with the same contract.
 func Work(ctx context.Context, id string, cfg WorkConfig) (*WorkOutcome, error) {
+	logger, err := buildLogger(cfg.LogLevel)
+	if err != nil {
+		return nil, err
+	}
 	w, err := client.NewWorker(client.Options{
 		URL:        cfg.URL,
 		Worker:     cfg.Name,
@@ -164,6 +203,7 @@ func Work(ctx context.Context, id string, cfg WorkConfig) (*WorkOutcome, error) 
 		Timeout:    cfg.Timeout,
 		SpoolDir:   cfg.SpoolDir,
 		FlushEvery: cfg.FlushEvery,
+		Logger:     logger,
 	})
 	if err != nil {
 		return nil, err
@@ -173,6 +213,7 @@ func Work(ctx context.Context, id string, cfg WorkConfig) (*WorkOutcome, error) 
 		return nil, err
 	}
 	rep := w.Report()
+	met := w.MetricsSnapshot()
 	return &WorkOutcome{
 		Result: r,
 		Report: WorkReport{
@@ -180,6 +221,7 @@ func Work(ctx context.Context, id string, cfg WorkConfig) (*WorkOutcome, error) 
 			Executed: rep.Executed,
 			Replayed: rep.Replayed,
 			Streamed: rep.Streamed,
+			Metrics:  &met,
 		},
 	}, nil
 }

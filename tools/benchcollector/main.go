@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/collector"
 	"repro/internal/collector/client"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/runstore/shardstore"
 )
@@ -47,6 +48,10 @@ type result struct {
 	RecordsPerSecond float64 `json:"records_per_second"`
 	MergeSeconds     float64 `json:"merge_seconds"`
 	MergedRecords    int     `json:"merged_records"`
+	// ServerMetrics is the daemon's final metrics snapshot for this
+	// configuration — the interior of the records/s headline (ingest
+	// bytes, lease churn, backpressure rejections, fsync counts).
+	ServerMetrics obs.Snapshot `json:"server_metrics"`
 }
 
 // snapshot is the BENCH_collector.json document.
@@ -103,7 +108,10 @@ func run(fleet, total, batch int) (result, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	srv, err := collector.New(collector.Config{Dir: dir, Shards: fleet})
+	// Each configuration gets its own registry so the embedded snapshot
+	// is this run's accounting alone, not the process-lifetime total.
+	reg := obs.NewRegistry()
+	srv, err := collector.New(collector.Config{Dir: dir, Shards: fleet, Metrics: reg})
 	if err != nil {
 		return result{}, err
 	}
@@ -171,6 +179,7 @@ func run(fleet, total, batch int) (result, error) {
 		RecordsPerSecond: float64(total) / ingest.Seconds(),
 		MergeSeconds:     mergeWall.Seconds(),
 		MergedRecords:    ms.Kept,
+		ServerMetrics:    reg.Snapshot(),
 	}, nil
 }
 

@@ -39,6 +39,7 @@ var checkedPackages = []string{
 	"internal/harness",
 	"internal/collector",
 	"internal/collector/client",
+	"internal/obs",
 }
 
 // checkedMarkdown are the markdown files (or directories of them) whose
