@@ -50,13 +50,16 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) run ./tools/docscheck
 
-# Short native-fuzz smoke over the journal parser: arbitrary byte
+# Short native-fuzz smoke over the store parsers: arbitrary byte
 # streams must never panic Open, and complete records must round-trip.
-# CI runs this on every push; crank FUZZTIME locally for a deeper soak.
+# `go test -fuzz` takes one target per invocation, so the JSONL and
+# binary fuzzers run back to back. CI runs this on every push; crank
+# FUZZTIME locally for a deeper soak.
 FUZZTIME ?= 10s
 .PHONY: fuzz
 fuzz:
 	$(GO) test -fuzz=FuzzJournalParse -fuzztime=$(FUZZTIME) -run=^$$ ./internal/runstore
+	$(GO) test -fuzz=FuzzBinaryDecode -fuzztime=$(FUZZTIME) -run=^$$ ./internal/runstore
 
 # Collector perf snapshot: ingest throughput at increasing worker
 # concurrency plus merge-after-collect wall time, recorded in
@@ -65,6 +68,14 @@ fuzz:
 .PHONY: bench-collector
 bench-collector:
 	$(GO) run ./tools/benchcollector -out BENCH_collector.json
+
+# Codec perf snapshot: JSON vs binary record encoding through encode,
+# decode, scan, and merge at 10^5 records, recorded in BENCH_codec.json
+# with per-path binary/JSON throughput ratios. Regenerate after codec
+# changes and commit the diff alongside them.
+.PHONY: bench-codec
+bench-codec:
+	$(GO) run ./tools/benchcodec -out BENCH_codec.json
 
 .PHONY: cover
 cover:

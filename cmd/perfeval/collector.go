@@ -127,6 +127,11 @@ func buildWorkConfig(props *config.Properties) (repro.WorkConfig, error) {
 			return cfg, fmt.Errorf("worker.flush = %d, need >= 1 (records per ingest batch)", cfg.FlushEvery)
 		}
 	}
+	if props.GetOr("worker.binary", "") != "" {
+		if cfg.BinaryWire, err = props.GetBool("worker.binary"); err != nil {
+			return cfg, err
+		}
+	}
 	if props.GetOr("sched.workers", "") != "" {
 		if cfg.Workers, err = props.GetInt("sched.workers"); err != nil {
 			return cfg, err

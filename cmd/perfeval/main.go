@@ -3,14 +3,14 @@
 // Usage:
 //
 //	perfeval list
-//	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR] [-Dstore=journal|archive]
+//	perfeval run <id>|all [-Dout.dir=DIR] [-Dsched.workers=N] [-Djournal.dir=DIR] [-Dstore=journal|archive|binary]
 //	perfeval run <id>|all -Dsched.shards=N -Dsched.shard=K -Djournal.dir=DIR
 //	perfeval serve -Dcollector.dir=DIR [-Dcollector.addr=:8080] [-Dcollector.shards=N] [-Dcollector.log=debug|info|quiet]
-//	perfeval work <id>|all -Dcollector.url=http://host:8080 [-Dsched.workers=N]
+//	perfeval work <id>|all -Dcollector.url=http://host:8080 [-Dsched.workers=N] [-Dworker.binary=true]
 //	perfeval metrics -Dcollector.url=http://host:8080 [-Dmetrics.format=prometheus|json]
 //	perfeval shard-plan <id>|all -Dsched.shards=N [-Djournal.dir=DIR]
 //	perfeval merge <out.jsonl|out.arch> <src.jsonl|src.arch>... [-Dmerge.strict=true]
-//	perfeval archive <out.arch> <src.jsonl|src.arch>...
+//	perfeval archive <out.arch|out.archz> <src.jsonl|src.arch>...
 //	perfeval inspect <file>... [-Dinspect.strict=true]
 //	perfeval diff <baseline.jsonl> <current.jsonl> [-Ddiff.confidence=0.95] [-Ddiff.tolerance=0.05]
 //	perfeval compact <journal.jsonl> [-Dcompact.out=PATH]
@@ -62,7 +62,9 @@
 // into -Dcollector.shards lease-able shards; any number of `perfeval
 // work` processes — on any machines that can reach -Dcollector.url —
 // lease shards, execute them through the scheduler, and stream
-// completed records back as NDJSON batches. Leases carry a TTL
+// completed records back as NDJSON batches (or, with
+// -Dworker.binary=true, in the negotiated binary wire framing — higher
+// ingest throughput, same records). Leases carry a TTL
 // (-Dcollector.ttl): a worker that dies mid-stream loses its shard to
 // the pool, and the next worker warm-starts from everything the dead
 // one streamed. Per-experiment backpressure (-Dcollector.inflight
@@ -92,6 +94,12 @@
 // counting only the valid prefix (-Dinspect.strict=true turns a torn
 // tail into a non-zero exit). diff and merge read archives wherever they
 // read journals.
+//
+// The binary store (-Dstore=binary) keeps the journal's append-only
+// single-file semantics but frames records in the length-prefixed
+// checksummed binary encoding (docs/FORMAT.md) instead of JSON lines —
+// the fast append/scan path. merge, inspect, diff, and compact read and
+// write .binj files exactly as they do journals and archives.
 //
 // diff loads two run stores, aggregates them per (assignment,
 // response), and applies the regression gate: confidence intervals that
@@ -196,7 +204,7 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 
 	case "archive":
 		if len(rest) < 3 {
-			return fmt.Errorf("usage: perfeval archive <out%s> <src.jsonl|src%s>...", repro.ArchiveExt, repro.ArchiveExt)
+			return fmt.Errorf("usage: perfeval archive <out%s|out%s> <src.jsonl|src%s>...", repro.ArchiveExt, repro.ArchiveExtZ, repro.ArchiveExt)
 		}
 		return archiveCmd(w, props, rest[1], rest[2:])
 
@@ -322,8 +330,13 @@ func buildRunConfig(props *config.Properties) (repro.RunConfig, error) {
 			return cfg, fmt.Errorf("store=archive cannot combine with sched.shards: shard files are journals; archive the merged result instead")
 		}
 		cfg.Store = repro.StoreArchive
+	case "binary":
+		if shardsSet {
+			return cfg, fmt.Errorf("store=binary cannot combine with sched.shards: shard files are JSONL journals; convert the merged result instead")
+		}
+		cfg.Store = repro.StoreBinary
 	default:
-		return cfg, fmt.Errorf("unknown store backend %q (want journal or archive)", storeKind)
+		return cfg, fmt.Errorf("unknown store backend %q (want journal, archive, or binary)", storeKind)
 	}
 	if shardSet && !shardsSet {
 		return cfg, fmt.Errorf("sched.shard needs sched.shards")

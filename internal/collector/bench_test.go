@@ -1,0 +1,65 @@
+package collector_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/collector"
+	"repro/internal/collector/client"
+	"repro/internal/runstore"
+)
+
+// benchIngest streams 10^4 pre-built records through the real HTTP
+// ingest path in 256-record batches under one lease — the collector
+// half of the codec claim. The JSON/binary pair isolates the wire
+// framing: everything else (loopback TCP, admission, shard append,
+// fsync cadence) is identical.
+func benchIngest(b *testing.B, binary bool) {
+	const total, batch = 10_000, 256
+	srv, err := collector.New(collector.Config{Dir: b.TempDir(), Shards: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	defer srv.Close()
+
+	c := client.New(hs.URL, nil)
+	c.SetBinary(binary)
+	ctx := context.Background()
+	grant, err := c.Acquire(ctx, "bench", "bench ingest")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]runstore.Record, 0, total)
+	for i := 0; i < total; i++ {
+		rec, err := runstore.NormalizeAppend(runstore.Record{
+			Experiment: "bench ingest",
+			Row:        i,
+			Replicate:  0,
+			Assignment: map[string]string{"cell": fmt.Sprintf("c%06d", i)},
+			Responses:  map[string]float64{"ms": float64(i%97) + 0.5},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < total; off += batch {
+			end := min(off+batch, total)
+			if err := c.Ingest(ctx, grant.Lease, recs[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(total), "records/op")
+}
+
+func BenchmarkIngestJSON(b *testing.B)   { benchIngest(b, false) }
+func BenchmarkIngestBinary(b *testing.B) { benchIngest(b, true) }

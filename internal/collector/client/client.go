@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log/slog"
+	"math/rand/v2"
+	"mime"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -39,10 +42,11 @@ var (
 // server. It is safe for concurrent use; 429 backpressure on ingest is
 // absorbed internally by honoring the server's Retry-After hint.
 type Client struct {
-	base string
-	hc   *http.Client
-	met  *clientMetrics
-	log  *slog.Logger
+	base   string
+	hc     *http.Client
+	met    *clientMetrics
+	log    *slog.Logger
+	binary bool
 }
 
 // New returns a Client for the collector at base (e.g.
@@ -60,6 +64,16 @@ func New(base string, httpClient *http.Client) *Client {
 		log:  discardLogger(),
 	}
 }
+
+// SetBinary selects the binary wire framing (runstore.WireBinaryType)
+// for ingest uploads and snapshot downloads; off, the client speaks the
+// NDJSON default. Content negotiation keeps either setting safe against
+// any server: ingest declares its framing in Content-Type, and snapshot
+// decodes whatever framing the response Content-Type declares — a
+// JSON-only server simply answers in JSON. Configure before the first
+// request; like SetMetrics and SetLogger it is not synchronized with
+// in-flight calls.
+func (c *Client) SetBinary(on bool) { c.binary = on }
 
 // Register announces the worker, returning the (server-assigned when
 // empty) worker name.
@@ -108,6 +122,9 @@ func (c *Client) Snapshot(ctx context.Context, lease string) (map[string]runstor
 	if err != nil {
 		return nil, err
 	}
+	if c.binary {
+		req.Header.Set("Accept", runstore.WireBinaryType)
+	}
 	httpResp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -119,8 +136,12 @@ func (c *Client) Snapshot(ctx context.Context, lease string) (map[string]runstor
 	if httpResp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("collector client: snapshot: %s", serverError(httpResp))
 	}
+	decode := runstore.DecodeWire
+	if mediaType(httpResp.Header.Get("Content-Type")) == runstore.WireBinaryType {
+		decode = runstore.DecodeWireBinary
+	}
 	warm := make(map[string]runstore.Record)
-	if _, err := runstore.DecodeWire(httpResp.Body, func(rec runstore.Record) error {
+	if _, err := decode(httpResp.Body, func(rec runstore.Record) error {
 		warm[rec.Key()] = rec
 		return nil
 	}); err != nil {
@@ -136,21 +157,39 @@ func (c *Client) Ingest(ctx context.Context, lease string, recs []runstore.Recor
 	if len(recs) == 0 {
 		return nil
 	}
+	encode, ctype := runstore.EncodeWire, runstore.WireJSONType
+	if c.binary {
+		encode, ctype = runstore.EncodeWireBinary, runstore.WireBinaryType
+	}
 	var body bytes.Buffer
 	for _, rec := range recs {
-		if err := runstore.EncodeWire(&body, rec); err != nil {
+		if err := encode(&body, rec); err != nil {
 			return err
 		}
 	}
+	payload := body.Bytes()
+	req, err := c.request(ctx, http.MethodPost, collector.PathIngest, url.Values{"lease": {lease}}, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ctype)
+	req.ContentLength = int64(len(payload))
+	// GetBody plus Idempotency-Key are what make the POST replayable:
+	// net/http retries a request transparently when a reused keep-alive
+	// connection turns out to be dead under it (the server closed it
+	// between our requests) only if it can re-materialize the body AND
+	// the request is marked idempotent — which an ingest batch is, the
+	// store being last-wins. The 429 loop below re-sends through the
+	// same GetBody hook instead of rebuilding the request.
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(payload)), nil
+	}
+	req.Header.Set("Idempotency-Key",
+		fmt.Sprintf("%s-%08x-%d", lease, crc32.ChecksumIEEE(payload), len(recs)))
 	for {
-		req, err := c.request(ctx, http.MethodPost, collector.PathIngest, url.Values{"lease": {lease}}, nil)
-		if err != nil {
-			return err
-		}
-		payload := body.Bytes()
-		req.Body = io.NopCloser(bytes.NewReader(payload))
-		req.ContentLength = int64(len(payload))
-		httpResp, err := c.hc.Do(req)
+		attempt := req.Clone(ctx)
+		attempt.Body, _ = attempt.GetBody()
+		httpResp, err := c.hc.Do(attempt)
 		if err != nil {
 			return err
 		}
@@ -287,12 +326,45 @@ func serverError(resp *http.Response) string {
 	return resp.Status
 }
 
-// retryAfter parses the Retry-After hint, defaulting to one second.
+// Bounds on the honored Retry-After wait: the cap keeps a misconfigured
+// (or clock-skewed HTTP-date) hint from parking a worker for an hour,
+// the floor keeps a "Retry-After: 0" from turning the backoff loop into
+// a hot spin.
+const (
+	retryAfterCap   = 30 * time.Second
+	retryAfterFloor = 10 * time.Millisecond
+)
+
+// retryAfter parses the Retry-After hint — both the delta-seconds form
+// and the HTTP-date form (RFC 9110 §10.2.3) — defaulting to one second
+// when absent or unparsable. The wait is capped at retryAfterCap and
+// jittered by ±20%, so a fleet of workers backpressured by the same
+// response retries staggered instead of in lockstep, re-stampeding the
+// server at the same instant.
 func retryAfter(resp *http.Response) time.Duration {
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
+	base := time.Second
+	h := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		// "0" is a real hint — retry immediately (modulo the floor) — not
+		// an absent header.
+		base = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(h); err == nil {
+		base = time.Until(t)
 	}
-	return time.Second
+	base = min(base, retryAfterCap)
+	base = time.Duration(float64(base) * (0.8 + 0.4*rand.Float64()))
+	return max(base, retryAfterFloor)
+}
+
+// mediaType extracts the bare media type from a Content-Type header,
+// tolerating parameters and case. Empty or unparsable values return ""
+// — the caller's JSON default applies.
+func mediaType(header string) string {
+	mt, _, err := mime.ParseMediaType(header)
+	if err != nil {
+		return ""
+	}
+	return mt
 }
 
 // drain discards and closes a response body so connections are reused.

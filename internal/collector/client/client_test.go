@@ -1,0 +1,283 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runstore"
+)
+
+// TestIngestReplaysOnKilledKeepAlive kills the keep-alive connection
+// under the second ingest — the handler hijacks the conn and closes it
+// without a response, after the batch is fully uploaded. Because the
+// request carries GetBody, net/http replays it transparently on a fresh
+// connection; the caller sees two clean Ingests, the server sees the
+// killed batch twice (idempotent: the store is last-wins).
+func TestIngestReplaysOnKilledKeepAlive(t *testing.T) {
+	var mu sync.Mutex
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("reading ingest body: %v", err)
+		}
+		mu.Lock()
+		bodies = append(bodies, string(body))
+		n := len(bodies)
+		mu.Unlock()
+		if n == 2 {
+			// The server dies mid-batch: connection torn down with no
+			// response bytes at all.
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	// A private transport so connection reuse is under this test's
+	// control, not shared with other tests.
+	hc := &http.Client{Transport: &http.Transport{}}
+	defer hc.CloseIdleConnections()
+	c := New(srv.URL, hc)
+	ctx := context.Background()
+	recA := runstore.Record{Experiment: "e", Row: 0, Replicate: 0,
+		Assignment: map[string]string{"f": "a"}, Responses: map[string]float64{"ms": 1}}
+	recB := runstore.Record{Experiment: "e", Row: 1, Replicate: 0,
+		Assignment: map[string]string{"f": "b"}, Responses: map[string]float64{"ms": 2}}
+
+	if err := c.Ingest(ctx, "L", []runstore.Record{recA}); err != nil {
+		t.Fatalf("first ingest: %v", err)
+	}
+	if err := c.Ingest(ctx, "L", []runstore.Record{recB}); err != nil {
+		t.Fatalf("second ingest (killed keep-alive) did not recover: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 3 {
+		t.Fatalf("server saw %d uploads, want 3 (second batch replayed once)", len(bodies))
+	}
+	if bodies[1] != bodies[2] {
+		t.Errorf("replayed body differs from the killed upload:\n%q\n%q", bodies[1], bodies[2])
+	}
+	if bodies[1] == bodies[0] {
+		t.Errorf("second upload carried the first batch")
+	}
+	if !strings.Contains(bodies[2], `"f":"b"`) {
+		t.Errorf("replayed body does not hold the second batch: %q", bodies[2])
+	}
+}
+
+// renewStep scripts one renew attempt: the fake-clock time at which it
+// happens and the result it returns.
+type renewStep struct {
+	at  time.Duration
+	err error
+}
+
+// renewHarness runs renewLoop against a manual tick channel and a fake
+// clock. The clock only advances inside the renew callback — it
+// consumes one scripted step per tick — so the loop's post-renew
+// deadline arithmetic always reads the step's own time, with no race
+// against the driving test. The unbuffered tick send is the barrier:
+// it cannot complete until the loop is back at its select, i.e. done
+// processing the previous step.
+type renewHarness struct {
+	t      *testing.T
+	tick   chan time.Time
+	steps  chan renewStep
+	mu     sync.Mutex
+	now    time.Time
+	lost   chan error
+	done   chan struct{}
+	cancel context.CancelFunc
+}
+
+func startRenewHarness(t *testing.T, ttl time.Duration) *renewHarness {
+	t.Helper()
+	h := &renewHarness{
+		t:     t,
+		tick:  make(chan time.Time),
+		steps: make(chan renewStep),
+		now:   time.Unix(1_000_000, 0),
+		lost:  make(chan error, 1),
+		done:  make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	t.Cleanup(cancel)
+	go func() {
+		defer close(h.done)
+		renewLoop(ctx, "L", ttl, h.tick,
+			func() time.Time {
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				return h.now
+			},
+			func() error {
+				s := <-h.steps
+				h.mu.Lock()
+				h.now = time.Unix(1_000_000, 0).Add(s.at)
+				h.mu.Unlock()
+				return s.err
+			},
+			func(err error) { h.lost <- err },
+			discardLogger())
+	}()
+	return h
+}
+
+// step fires one tick and scripts the renew attempt it triggers: the
+// attempt happens at the given offset from the harness start and
+// returns renewErr.
+func (h *renewHarness) step(at time.Duration, renewErr error) {
+	h.t.Helper()
+	select {
+	case h.tick <- time.Time{}:
+	case <-time.After(5 * time.Second):
+		h.t.Fatal("renewLoop stopped accepting ticks")
+	}
+	select {
+	case h.steps <- renewStep{at: at, err: renewErr}:
+	case <-time.After(5 * time.Second):
+		h.t.Fatal("renewLoop never ran the renew callback")
+	}
+}
+
+func (h *renewHarness) expectLost(within time.Duration) error {
+	h.t.Helper()
+	select {
+	case err := <-h.lost:
+		return err
+	case <-time.After(within):
+		h.t.Fatal("renewLoop never reported the lease lost")
+		return nil
+	}
+}
+
+func (h *renewHarness) expectAlive() {
+	h.t.Helper()
+	select {
+	case err := <-h.lost:
+		h.t.Fatalf("renewLoop reported lost early: %v", err)
+	default:
+	}
+}
+
+// TestRenewLoopTTLElapsedMarksLost drives renewLoop with a fake clock:
+// transient renew errors are tolerated while the TTL deadline holds,
+// and the first failure at or past the deadline marks the lease lost
+// with an ErrLeaseLost-matching error.
+func TestRenewLoopTTLElapsedMarksLost(t *testing.T) {
+	ttl := 30 * time.Second
+	transient := errors.New("connection refused")
+	h := startRenewHarness(t, ttl)
+
+	h.step(10*time.Second, transient) // failing, but deadline (t+30s) holds
+	h.expectAlive()
+	h.step(20*time.Second, nil) // success: deadline moves to t+50s
+	h.expectAlive()
+	h.step(45*time.Second, transient) // failing again, new deadline holds
+	h.expectAlive()
+	h.step(50*time.Second, transient) // a full TTL with no success: lost
+	err := h.expectLost(5 * time.Second)
+	if !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("lost error = %v, want ErrLeaseLost", err)
+	}
+	if !strings.Contains(err.Error(), "no successful renew") {
+		t.Errorf("lost error %q does not explain the TTL elapse", err)
+	}
+	select {
+	case <-h.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("renewLoop did not return after marking the lease lost")
+	}
+}
+
+// TestRenewLoopLeaseLostStopsImmediately: a server-reported 410 stops
+// the loop on the spot, deadline state notwithstanding.
+func TestRenewLoopLeaseLostStopsImmediately(t *testing.T) {
+	h := startRenewHarness(t, 30*time.Second)
+	h.step(1*time.Second, ErrLeaseLost)
+	if err := h.expectLost(5 * time.Second); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("lost error = %v, want ErrLeaseLost", err)
+	}
+	select {
+	case <-h.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("renewLoop did not return")
+	}
+}
+
+// TestRenewLoopShutdownIsNotLoss: a renew that failed because the shard
+// run is shutting down (ctx canceled under it) must not be reported as
+// lease loss.
+func TestRenewLoopShutdownIsNotLoss(t *testing.T) {
+	h := startRenewHarness(t, 30*time.Second)
+	h.cancel() // shutdown first, then the tick races in
+	select {
+	case h.tick <- time.Time{}:
+		// The loop picked the tick branch: it must classify the failure —
+		// staged far past the deadline — as shutdown, not loss.
+		select {
+		case h.steps <- renewStep{at: time.Hour, err: errors.New("context canceled")}:
+		case <-h.done:
+		}
+	case <-h.done:
+		// The loop exited on ctx.Done before taking the tick — fine.
+	case <-time.After(5 * time.Second):
+		t.Fatal("renewLoop accepted neither the tick nor the cancel")
+	}
+	select {
+	case <-h.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("renewLoop did not return after cancel")
+	}
+	select {
+	case err := <-h.lost:
+		t.Fatalf("shutdown was reported as lease loss: %v", err)
+	default:
+	}
+}
+
+// TestRetryAfter pins the Retry-After parsing contract: both header
+// forms, the zero hint, the cap, and the ±20% jitter band.
+func TestRetryAfter(t *testing.T) {
+	resp := func(header string) *http.Response {
+		r := &http.Response{Header: http.Header{}}
+		if header != "" {
+			r.Header.Set("Retry-After", header)
+		}
+		return r
+	}
+	between := func(name string, d, lo, hi time.Duration) {
+		t.Helper()
+		if d < lo || d > hi {
+			t.Errorf("%s: wait %v outside [%v, %v]", name, d, lo, hi)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		between("absent", retryAfter(resp("")), 800*time.Millisecond, 1200*time.Millisecond)
+		between("seconds", retryAfter(resp("5")), 4*time.Second, 6*time.Second)
+		between("zero", retryAfter(resp("0")), retryAfterFloor, retryAfterFloor)
+		between("garbage", retryAfter(resp("soon")), 800*time.Millisecond, 1200*time.Millisecond)
+		between("capped", retryAfter(resp("3600")), 24*time.Second, 36*time.Second)
+		date := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+		between("http-date", retryAfter(resp(date)), 7*time.Second, 13*time.Second)
+		past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+		between("past-date", retryAfter(resp(past)), retryAfterFloor, retryAfterFloor)
+	}
+}

@@ -40,6 +40,11 @@ type Options struct {
 	// AcquireWait is how long to wait between acquire attempts while
 	// every incomplete shard is leased by someone else; 0 means 1s.
 	AcquireWait time.Duration
+	// BinaryWire streams ingest uploads (and asks for snapshots) in the
+	// binary wire framing instead of the NDJSON default — the encoding
+	// is negotiated per request, so the setting is safe against a server
+	// that only speaks JSON. See Client.SetBinary.
+	BinaryWire bool
 	// HTTPClient overrides the transport; nil means http.DefaultClient.
 	HTTPClient *http.Client
 	// Metrics is the registry the worker's instruments (and its
@@ -94,6 +99,7 @@ func NewWorker(opts Options) (*Worker, error) {
 	c := New(opts.URL, opts.HTTPClient)
 	c.SetMetrics(opts.Metrics)
 	c.SetLogger(opts.Logger)
+	c.SetBinary(opts.BinaryWire)
 	return &Worker{opts: opts, c: c}, nil
 }
 
@@ -191,23 +197,24 @@ func (w *Worker) runShard(ctx context.Context, e *harness.Experiment, spool stri
 	renewCtx, stopRenew := context.WithCancel(ctx)
 	var renewWG sync.WaitGroup
 	ttl := time.Duration(grant.TTLMillis) * time.Millisecond
+	period := ttl / 3
+	if period <= 0 {
+		// A sub-3ms TTL (fake-clock test servers) must not hand
+		// time.NewTicker a zero period, which panics.
+		period = time.Millisecond
+	}
 	renewWG.Add(1)
 	go func() {
 		defer renewWG.Done()
-		ticker := time.NewTicker(ttl / 3)
+		ticker := time.NewTicker(period)
 		defer ticker.Stop()
-		for {
-			select {
-			case <-renewCtx.Done():
-				return
-			case <-ticker.C:
-				if err := w.c.Renew(renewCtx, grant.Lease); errors.Is(err, ErrLeaseLost) {
-					store.markLost(err)
-					cancelShard()
-					return
-				}
-			}
-		}
+		renewLoop(renewCtx, grant.Lease, ttl, ticker.C, time.Now,
+			func() error { return w.c.Renew(renewCtx, grant.Lease) },
+			func(err error) {
+				store.markLost(err)
+				cancelShard()
+			},
+			w.opts.Logger)
 	}()
 
 	w.opts.Logger.Info("shard run starting", "worker", w.name, "lease", grant.Lease,
@@ -241,7 +248,13 @@ func (w *Worker) runShard(ctx context.Context, e *harness.Experiment, spool stri
 		// A unit failure, not a lease problem: hand the shard back warm
 		// so another worker (or a retry of this one) can finish it.
 		relCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
-		w.c.Release(relCtx, grant.Lease, false)
+		if relErr := w.c.Release(relCtx, grant.Lease, false); relErr != nil {
+			// Not fatal — the lease just expires on its own — but an
+			// un-released shard is invisible dead time for the fleet, so
+			// say which one is stuck and until when.
+			w.opts.Logger.Warn("abandoning shard: release failed; shard stays leased until TTL expiry",
+				"lease", grant.Lease, "experiment", e.Name, "shard", grant.Shard, "ttl", ttl, "err", relErr)
+		}
 		cancel()
 		return nil, runErr
 	}
@@ -258,6 +271,47 @@ func (w *Worker) runShard(ctx context.Context, e *harness.Experiment, spool stri
 		"experiment", e.Name, "shard", grant.Shard,
 		"executed", st.Executed, "replayed", st.Replayed, "streamed", store.Streamed())
 	return rs, nil
+}
+
+// renewLoop keeps one lease alive: on every tick it renews, resetting
+// the TTL deadline on success. ErrLeaseLost stops it immediately. Any
+// other renew error — a flaky network, a restarting server — is logged
+// at warn and tolerated only until a full TTL elapses with no
+// successful renew: by then the server has expired the lease whatever
+// the transport said, so continuing to execute would burn work that can
+// only 410 on ingest. lost is called at most once, with an error
+// matching ErrLeaseLost.
+//
+// The loop is driven entirely through its parameters (tick channel,
+// clock, renew and lost callbacks) so tests run it against a fake clock
+// with no timing dependence; runShard wires the real ticker and client.
+func renewLoop(ctx context.Context, lease string, ttl time.Duration, tick <-chan time.Time, now func() time.Time, renew func() error, lost func(error), log *slog.Logger) {
+	deadline := now().Add(ttl)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+			err := renew()
+			switch {
+			case err == nil:
+				deadline = now().Add(ttl)
+			case errors.Is(err, ErrLeaseLost):
+				lost(err)
+				return
+			case ctx.Err() != nil:
+				// The shard run is shutting down: the renew failed because
+				// its context died, not because the lease did.
+				return
+			default:
+				log.Warn("lease renew failed", "lease", lease, "err", err)
+				if !now().Before(deadline) {
+					lost(fmt.Errorf("%w: no successful renew within TTL %v (last error: %v)", ErrLeaseLost, ttl, err))
+					return
+				}
+			}
+		}
+	}
 }
 
 // emptyResultSet renders the design with zero replicates everywhere —

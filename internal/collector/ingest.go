@@ -3,13 +3,13 @@ package collector
 import (
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 
 	"repro/internal/runstore"
 )
 
-// handleIngest streams one batch of NDJSON records into the lease's
-// shard:
+// handleIngest streams one batch of records into the lease's shard:
 //
 //	200 IngestResponse — every record in the batch is durably appended
 //	410 — the lease is not live; the worker must stop streaming
@@ -23,6 +23,11 @@ import (
 // a failed batch leaves a clean prefix durably stored; delivery is
 // at-least-once and the stores are last-wins, so a retried batch
 // converges instead of duplicating.
+//
+// The body framing is negotiated by Content-Type: runstore.WireBinaryType
+// selects the binary frame decoder, anything else — including no header
+// at all — is decoded as NDJSON, the canonical fallback every peer
+// speaks (docs/COLLECTOR.md).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("lease")
 	now := s.cfg.Clock()
@@ -68,8 +73,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Decode and append outside the control-state lock: the sharded
 	// store carries its own per-journal locking, so batches for
 	// different shards write concurrently.
+	decode := runstore.DecodeWire
+	if wireMediaType(r.Header.Get("Content-Type")) == runstore.WireBinaryType {
+		decode = runstore.DecodeWireBinary
+	}
 	body := &countingReader{r: r.Body}
-	n, err := runstore.DecodeWire(body, func(rec runstore.Record) error {
+	n, err := decode(body, func(rec runstore.Record) error {
 		if rec.Experiment != e.name {
 			return &ingestConflict{fmt.Sprintf("collector: record %s belongs to experiment %q, lease %s owns %q",
 				rec.Key(), rec.Experiment, id, e.name)}
@@ -96,6 +105,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, IngestResponse{Appended: n})
 }
 
+// wireMediaType extracts the bare media type from a Content-Type or
+// Accept header value, tolerating parameters and case per RFC 9110. An
+// empty or unparsable value returns "" — which callers treat as "use
+// the JSON default".
+func wireMediaType(header string) string {
+	mt, _, err := mime.ParseMediaType(header)
+	if err != nil {
+		return ""
+	}
+	return mt
+}
+
 // countingReader counts the bytes actually read from the request body —
 // what the ingest byte counter reports, as opposed to the declared
 // Content-Length the backpressure budget reserves.
@@ -118,12 +139,16 @@ type ingestConflict struct{ msg string }
 func (c *ingestConflict) Error() string { return c.msg }
 
 // handleSnapshot streams the lease's shard as it stands — every record
-// earlier owners collected — as NDJSON in the wire framing. It is the
-// warm-start feed: the new owner indexes these records and replays them
-// through the scheduler's journal warm-start machinery instead of
-// re-executing them. The scan snapshots its key set at start (the
-// runstore.Store contract), so concurrent ingest on other shards never
-// corrupts it.
+// earlier owners collected — in the wire framing. It is the warm-start
+// feed: the new owner indexes these records and replays them through
+// the scheduler's journal warm-start machinery instead of re-executing
+// them. The scan snapshots its key set at start (the runstore.Store
+// contract), so concurrent ingest on other shards never corrupts it.
+//
+// The response framing is negotiated by the Accept header — an exact
+// runstore.WireBinaryType selects binary frames, anything else NDJSON —
+// and the response Content-Type states what was chosen, so a client
+// decodes by what the server says, never by what it asked for.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("lease")
 	now := s.cfg.Clock()
@@ -137,17 +162,23 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	store, shard, shards := l.exp.store, l.shard, len(l.exp.shards)
 	s.mu.Unlock()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	encode := runstore.EncodeWire
+	ctype := runstore.WireJSONType
+	if wireMediaType(r.Header.Get("Accept")) == runstore.WireBinaryType {
+		encode = runstore.EncodeWireBinary
+		ctype = runstore.WireBinaryType
+	}
+	w.Header().Set("Content-Type", ctype)
 	for rec, err := range store.Scan() {
 		if err != nil {
 			// The header is out; all we can do is cut the stream so the
-			// truncation is visible to DecodeWire on the client.
+			// truncation is visible to the client's wire decoder.
 			return
 		}
 		if runstore.ShardIndex(rec.Hash, shards) != shard {
 			continue
 		}
-		if err := runstore.EncodeWire(w, rec); err != nil {
+		if err := encode(w, rec); err != nil {
 			return
 		}
 	}

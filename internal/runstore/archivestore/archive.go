@@ -32,7 +32,20 @@ type Archive struct {
 	needTruncate bool  // a loaded footer must be cut off before appending
 	dirty        bool  // the on-disk footer is absent or stale
 	torn         bool  // recovery dropped a torn tail on open
+	compress     bool  // new appends are written as compressed blocks
 	closed       bool
+}
+
+// SetCompress selects the block encoding for subsequent Appends: when
+// on, each record is written as a compressed block (blockRecordZ, the
+// JSON doc flate-compressed) instead of a plain one. The two encodings
+// coexist freely within a file — every reader dispatches per block — so
+// the switch can be flipped at any point in an archive's life, and an
+// archive written by either setting opens everywhere.
+func (a *Archive) SetCompress(on bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.compress = on
 }
 
 // Archive is a Store backend like the journal and the shard store.
@@ -194,7 +207,7 @@ func (a *Archive) scanBlocks(data []byte) int64 {
 		}
 		blockLen := int64(blockHeaderSize) + int64(len(payload))
 		switch typ {
-		case blockRecord:
+		case blockRecord, blockRecordZ:
 			exp, hash, rep, err := recordPayloadKey(payload)
 			if err != nil {
 				return off // checksummed but malformed: treat as torn here
@@ -321,10 +334,10 @@ func (a *Archive) readRecord(e entry) (runstore.Record, error) {
 	if err != nil {
 		return runstore.Record{}, err
 	}
-	if typ != blockRecord {
+	if !isRecordBlock(typ) {
 		return runstore.Record{}, fmt.Errorf("archivestore: %s: block at %d is not a record", a.path, e.off)
 	}
-	return decodeRecordPayload(payload)
+	return decodeRecordBlock(typ, payload)
 }
 
 // ReplicateCount implements runstore.Store: contiguous replicates 0..n-1
@@ -387,7 +400,17 @@ func (a *Archive) Append(rec runstore.Record) error {
 	if err != nil {
 		return err
 	}
-	payload, err := encodeRecordPayload(rec)
+	a.mu.Lock()
+	compress := a.compress
+	a.mu.Unlock()
+	typ := byte(blockRecord)
+	var payload []byte
+	if compress {
+		typ = blockRecordZ
+		payload, err = encodeRecordPayloadZ(rec)
+	} else {
+		payload, err = encodeRecordPayload(rec)
+	}
 	if err != nil {
 		return err
 	}
@@ -404,7 +427,7 @@ func (a *Archive) Append(rec runstore.Record) error {
 		}
 		a.needTruncate = false
 	}
-	block := appendBlock(nil, blockRecord, payload)
+	block := appendBlock(nil, typ, payload)
 	if _, err := a.f.WriteAt(block, a.dataEnd); err != nil {
 		return fmt.Errorf("archivestore: %w", err)
 	}

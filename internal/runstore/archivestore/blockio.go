@@ -1,11 +1,15 @@
 package archivestore
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
+	"sync"
 
 	"repro/internal/runstore"
 )
@@ -24,10 +28,16 @@ const (
 	// Ext is the file extension of archive files; runstore.Merge writes
 	// an archive when its destination carries it.
 	Ext = ".arch"
+	// ExtZ is the destination extension selecting the compressed bulk
+	// writer (WriteCompressed). The file is an ordinary archive — same
+	// magic, same block framing — whose record blocks carry compressed
+	// payloads, so sources are still sniffed and read as "archive".
+	ExtZ = ".archz"
 
-	blockRecord = 1 // one length-prefixed record: key fields + JSON payload
-	blockIndex  = 2 // one index page: key -> block location entries
-	blockFooter = 3 // the footer: appended count + index page offsets
+	blockRecord  = 1 // one length-prefixed record: key fields + JSON payload
+	blockIndex   = 2 // one index page: key -> block location entries
+	blockFooter  = 3 // the footer: appended count + index page offsets
+	blockRecordZ = 4 // a record block whose JSON doc is flate-compressed
 
 	headerSize      = len(Magic)
 	blockHeaderSize = 1 + 4 + 4 // type, payload length, payload CRC
@@ -177,10 +187,117 @@ func decodeRecordPayload(payload []byte) (runstore.Record, error) {
 }
 
 // recordPayloadKey parses only the key fields of a record block payload —
-// what recovery scans and Inspect need, JSON parse avoided.
+// what recovery scans and Inspect need, JSON parse avoided. The key
+// fields lead the payload uncompressed in both record block types, so
+// the same parse serves blockRecord and blockRecordZ.
 func recordPayloadKey(payload []byte) (exp, hash string, rep int, err error) {
 	exp, hash, rep, _, err = parseKeyFields(payload)
 	return
+}
+
+// isRecordBlock reports whether typ carries a record — plain or
+// compressed. Everything that indexes, scans, or reads record blocks
+// dispatches through it so the two encodings stay interchangeable.
+func isRecordBlock(typ byte) bool { return typ == blockRecord || typ == blockRecordZ }
+
+// decodeRecordBlock decodes a record block payload according to its
+// block type.
+func decodeRecordBlock(typ byte, payload []byte) (runstore.Record, error) {
+	if typ == blockRecordZ {
+		return decodeRecordPayloadZ(payload)
+	}
+	return decodeRecordPayload(payload)
+}
+
+// flateWriters pools flate writers for the compressed-block encode
+// path: flate.NewWriter allocates large internal tables, so bulk writes
+// reuse one per goroutine instead of one per record.
+var flateWriters = sync.Pool{New: func() any {
+	zw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		panic(err) // only invalid levels fail; BestSpeed is valid
+	}
+	return zw
+}}
+
+// flateReaders pools flate readers for the decode path; every reader
+// returned by flate.NewReader implements flate.Resetter.
+var flateReaders = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
+// encodeRecordPayloadZ builds a compressed record block payload: the
+// same uncompressed key fields a plain record block leads with (so
+// recovery scans and index rebuilds never inflate anything), then the
+// raw JSON doc length, then the doc flate-compressed at BestSpeed —
+// archives trade a little CPU for the dominant storage term, and the
+// ratio on repetitive assignment maps is what matters, not the level.
+func encodeRecordPayloadZ(rec runstore.Record) ([]byte, error) {
+	if len(rec.Experiment) > math.MaxUint16 {
+		return nil, fmt.Errorf("archivestore: experiment name is %d bytes, max %d", len(rec.Experiment), math.MaxUint16)
+	}
+	if len(rec.Hash) > math.MaxUint16 {
+		return nil, fmt.Errorf("archivestore: assignment hash is %d bytes, max %d", len(rec.Hash), math.MaxUint16)
+	}
+	doc, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("archivestore: %w", err)
+	}
+	payload := appendKeyFields(nil, rec.Experiment, rec.Hash, rec.Replicate)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:4], uint32(len(doc)))
+	payload = append(payload, n[:4]...)
+	buf := bytes.NewBuffer(payload)
+	zw := flateWriters.Get().(*flate.Writer)
+	zw.Reset(buf)
+	if _, err := zw.Write(doc); err == nil {
+		err = zw.Close()
+	}
+	flateWriters.Put(zw)
+	if err != nil {
+		return nil, fmt.Errorf("archivestore: compressing record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRecordPayloadZ parses a compressed record block payload back
+// into a Record.
+func decodeRecordPayloadZ(payload []byte) (runstore.Record, error) {
+	_, _, _, rest, err := parseKeyFields(payload)
+	if err != nil {
+		return runstore.Record{}, err
+	}
+	if len(rest) < 4 {
+		return runstore.Record{}, fmt.Errorf("archivestore: truncated compressed record payload")
+	}
+	rawLen := binary.LittleEndian.Uint32(rest[:4])
+	if rawLen > maxPayload {
+		return runstore.Record{}, fmt.Errorf("archivestore: compressed record claims %d raw bytes, max %d", rawLen, maxPayload)
+	}
+	zr := flateReaders.Get().(io.ReadCloser)
+	err = zr.(flate.Resetter).Reset(bytes.NewReader(rest[4:]), nil)
+	doc := make([]byte, rawLen)
+	if err == nil {
+		_, err = io.ReadFull(zr, doc)
+	}
+	if err == nil {
+		// The stream must end exactly here: a declared length shorter
+		// than the stream, or a stream truncated after its last payload
+		// byte but before the final-block marker, is corruption.
+		var tail [1]byte
+		if n, rerr := zr.Read(tail[:]); n != 0 || rerr != io.EOF {
+			err = fmt.Errorf("stream does not end at declared length (%v)", rerr)
+		}
+	}
+	flateReaders.Put(zr)
+	if err != nil {
+		return runstore.Record{}, fmt.Errorf("archivestore: corrupt compressed record payload: %w", err)
+	}
+	var rec runstore.Record
+	if err := json.Unmarshal(doc, &rec); err != nil {
+		return runstore.Record{}, fmt.Errorf("archivestore: corrupt record payload: %w", err)
+	}
+	return rec, nil
 }
 
 // encodeIndexPayload builds an index page payload from pending entries.

@@ -23,18 +23,38 @@ func TestArchivestoreConformance(t *testing.T) {
 			}
 			return a
 		},
-		Tear: func(t *testing.T, dir string) {
-			// A crash mid-append leaves a half-written block; writing one
-			// after the finalized tail also invalidates the trailer, so
-			// the reopen takes the recovery-scan path.
-			f, err := os.OpenFile(filepath.Join(dir, "e"+archivestore.Ext), os.O_APPEND|os.O_WRONLY, 0)
+		Tear: tearArchive,
+	})
+}
+
+// TestArchivestoreCompressedConformance runs the same contract suite
+// with compressed record blocks — the Store semantics must not depend
+// on the block encoding.
+func TestArchivestoreCompressedConformance(t *testing.T) {
+	storetest.Run(t, storetest.Backend{
+		Name: "archivestore-compressed",
+		Open: func(t *testing.T, dir string) runstore.Store {
+			a, err := archivestore.OpenDir(dir, "e")
 			if err != nil {
 				t.Fatal(err)
 			}
-			defer f.Close()
-			if _, err := f.Write([]byte{1, 0xEF, 0xBE, 0xAD, 0xDE, 0x01}); err != nil {
-				t.Fatal(err)
-			}
+			a.SetCompress(true)
+			return a
 		},
+		Tear: tearArchive,
 	})
+}
+
+// tearArchive simulates a crash mid-append: a half-written block after
+// the finalized tail also invalidates the trailer, so the reopen takes
+// the recovery-scan path.
+func tearArchive(t *testing.T, dir string) {
+	f, err := os.OpenFile(filepath.Join(dir, "e"+archivestore.Ext), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte{1, 0xEF, 0xBE, 0xAD, 0xDE, 0x01}); err != nil {
+		t.Fatal(err)
+	}
 }

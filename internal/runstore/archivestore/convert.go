@@ -25,6 +25,19 @@ func init() {
 		Write:      Write,
 		Inspect:    Inspect,
 	})
+	// The compressed variant is destination-only: a .archz file carries
+	// the same magic and block framing, so as a source it sniffs (and
+	// reads) as "archive" above. Registering the extension routes Merge
+	// and Compact destinations ending in .archz through the compressed
+	// bulk writer.
+	runstore.RegisterFormat(runstore.Format{
+		Name:       "archivez",
+		Ext:        ExtZ,
+		Sniff:      func(head []byte) bool { return false },
+		OpenReader: OpenReader,
+		Write:      WriteCompressed,
+		Inspect:    Inspect,
+	})
 }
 
 // Write atomically replaces dst with a finalized archive holding the
@@ -37,6 +50,19 @@ func init() {
 // error aborts the write and leaves dst untouched. The file mode is
 // copied from modeFrom when that file exists, 0644 otherwise.
 func Write(dst string, recs iter.Seq2[runstore.Record, error], modeFrom string) error {
+	return writeWith(dst, recs, modeFrom, false)
+}
+
+// WriteCompressed is Write with every record block flate-compressed —
+// the bulk build path behind .archz merge destinations. The result is a
+// valid archive by every reader's lights (compression is per block, not
+// per file), just smaller on disk for the storage-bound cold path.
+func WriteCompressed(dst string, recs iter.Seq2[runstore.Record, error], modeFrom string) error {
+	return writeWith(dst, recs, modeFrom, true)
+}
+
+// writeWith is the shared bulk writer behind Write and WriteCompressed.
+func writeWith(dst string, recs iter.Seq2[runstore.Record, error], modeFrom string, compress bool) error {
 	if dir := filepath.Dir(dst); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("archivestore: %w", err)
@@ -91,11 +117,19 @@ func Write(dst string, recs iter.Seq2[runstore.Record, error], modeFrom string) 
 		if rec.Hash == "" {
 			rec.Hash = runstore.AssignmentHash(rec.Assignment)
 		}
-		payload, err := encodeRecordPayload(rec)
+		typ := byte(blockRecord)
+		var payload []byte
+		var err error
+		if compress {
+			typ = blockRecordZ
+			payload, err = encodeRecordPayloadZ(rec)
+		} else {
+			payload, err = encodeRecordPayload(rec)
+		}
 		if err != nil {
 			return fail(err)
 		}
-		block := appendBlock(nil, blockRecord, payload)
+		block := appendBlock(nil, typ, payload)
 		if _, err := bw.Write(block); err != nil {
 			return fail(fmt.Errorf("archivestore: %w", err))
 		}

@@ -54,7 +54,7 @@ func (r *reader) Entries() iter.Seq2[runstore.SourceEntry, error] {
 	return func(yield func(runstore.SourceEntry, error) bool) {
 		br := bufio.NewReaderSize(io.NewSectionReader(r.f, int64(headerSize), r.size-int64(headerSize)), 256<<10)
 		off := int64(headerSize)
-		records, pages := 0, 0
+		records, zrecords, pages := 0, 0, 0
 		finalized := false
 		distinct := make(map[string]struct{})
 		var hdr [blockHeaderSize]byte
@@ -82,13 +82,16 @@ func (r *reader) Entries() iter.Seq2[runstore.SourceEntry, error] {
 					}
 				}
 				break walk
-			case blockRecord:
-				rec, err := decodeRecordPayload(payload)
+			case blockRecord, blockRecordZ:
+				rec, err := decodeRecordBlock(typ, payload)
 				if err != nil {
 					yield(runstore.SourceEntry{}, fmt.Errorf("archivestore: %s: %w", r.path, err))
 					return
 				}
 				records++
+				if typ == blockRecordZ {
+					zrecords++
+				}
 				e := runstore.SourceEntry{
 					Experiment: rec.Experiment,
 					Hash:       rec.Hash,
@@ -114,7 +117,7 @@ func (r *reader) Entries() iter.Seq2[runstore.SourceEntry, error] {
 			Records:  records,
 			Distinct: len(distinct),
 			Torn:     dropped > 0 || (!finalized && records > 0),
-			Detail:   describe(records, pages, finalized, dropped),
+			Detail:   describe(records, zrecords, pages, finalized, dropped),
 		}
 	}
 }
@@ -154,10 +157,10 @@ func (r *reader) Read(ext runstore.Extent) (runstore.Record, error) {
 		return runstore.Record{}, fmt.Errorf("archivestore: %s: reading block at %d: %w", r.path, ext.Off, err)
 	}
 	typ, payload, ok := parseBlock(buf, 0)
-	if !ok || typ != blockRecord {
+	if !ok || !isRecordBlock(typ) {
 		return runstore.Record{}, fmt.Errorf("archivestore: %s: block at %d is not a valid record", r.path, ext.Off)
 	}
-	return decodeRecordPayload(payload)
+	return decodeRecordBlock(typ, payload)
 }
 
 // Info implements runstore.SourceReader; complete once Entries has been
@@ -169,8 +172,11 @@ func (r *reader) Close() error { return r.f.Close() }
 
 // describe renders the archive Detail string shared by the streaming
 // reader, Inspect, and the open Archive's Info.
-func describe(records, pages int, finalized bool, dropped int64) string {
+func describe(records, zrecords, pages int, finalized bool, dropped int64) string {
 	detail := fmt.Sprintf("archive: %d record block(s), %d index page(s)", records, pages)
+	if zrecords > 0 {
+		detail = fmt.Sprintf("archive: %d record block(s) (%d compressed), %d index page(s)", records, zrecords, pages)
+	}
 	switch {
 	case finalized:
 		detail += ", footer ok"

@@ -1,0 +1,372 @@
+package runstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// The binary record encoding is the hardware-speed counterpart of the
+// JSONL journal: the same record, the same key semantics, the same
+// last-wins view, encoded without a JSON marshal or parse anywhere on
+// the path. It exists because encoding/json dominates append, open,
+// merge, and collector ingest at scale (BENCH_codec.json keeps the
+// claim measured). The normative specification lives in docs/FORMAT.md;
+// change either in lockstep with the other and with the version byte
+// baked into BinaryMagic.
+//
+// Layout of a binary journal file:
+//
+//	"PEVBIN1\n" | frame*
+//
+// where every frame is
+//
+//	payload-length u32 | crc32c(payload) u32 | payload
+//
+// (all integers little-endian, checksums CRC-32C). Each append is one
+// write of the full frame followed by fsync, mirroring the JSONL
+// journal's durability story, so a crash leaves at most one torn
+// trailing frame. Because frames are length-prefixed, the scan cannot
+// resynchronize past damage: the first invalid frame ends the readable
+// region, exactly as in the block-indexed archive, and open truncates
+// there (reported via Torn).
+const (
+	// BinaryMagic is the 8-byte header every binary journal starts with.
+	// The digit is the format version: an incompatible change to the
+	// frame or payload layout bumps it, so old readers reject new files
+	// instead of misparsing them.
+	BinaryMagic = "PEVBIN1\n"
+	// BinaryExt is the binary journal's file extension. A Merge or
+	// Compact destination carrying it is written in the binary format.
+	BinaryExt = ".binj"
+
+	binHeaderSize      = len(BinaryMagic)
+	binFrameHeaderSize = 4 + 4 // payload length, payload CRC
+
+	// maxBinaryPayload bounds a frame payload so a corrupt length field
+	// cannot drive a multi-gigabyte allocation during recovery scans.
+	maxBinaryPayload = 1 << 30
+
+	// Map-presence markers: JSON distinguishes an absent/null map from
+	// an empty one, and the binary codec must round-trip that distinction
+	// for binary -> JSON -> binary conversions to be record-identical.
+	binMapNil     = 0
+	binMapPresent = 1
+)
+
+// binCastagnoli is the CRC-32C table every binary frame checksum uses.
+var binCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// binBufPool recycles encode scratch buffers on the append/encode hot
+// path — Append, EncodeWireBinary, and the bulk writer all borrow from
+// it so steady-state encoding allocates nothing per record.
+var binBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+// binSortPool recycles the key-sorting scratch slices the encoder uses
+// to emit maps deterministically.
+var binSortPool = sync.Pool{
+	New: func() any {
+		s := make([]string, 0, 16)
+		return &s
+	},
+}
+
+// appendBinaryRecord appends rec's binary payload encoding to dst and
+// returns the extended buffer. Map keys are emitted in sorted order, so
+// the encoding is deterministic: two equal records encode to equal
+// bytes, which is what the merge byte-identity property rests on.
+func appendBinaryRecord(dst []byte, rec Record) []byte {
+	dst = appendBinaryString(dst, rec.Experiment)
+	dst = appendBinaryString(dst, rec.Hash)
+	dst = binary.AppendVarint(dst, int64(rec.Replicate))
+	dst = binary.AppendVarint(dst, int64(rec.Row))
+
+	keys := binSortPool.Get().(*[]string)
+	defer func() {
+		*keys = (*keys)[:0]
+		binSortPool.Put(keys)
+	}()
+
+	if rec.Assignment == nil {
+		dst = append(dst, binMapNil)
+	} else {
+		dst = append(dst, binMapPresent)
+		*keys = (*keys)[:0]
+		for k := range rec.Assignment {
+			*keys = append(*keys, k)
+		}
+		sort.Strings(*keys)
+		dst = binary.AppendUvarint(dst, uint64(len(*keys)))
+		for _, k := range *keys {
+			dst = appendBinaryString(dst, k)
+			dst = appendBinaryString(dst, rec.Assignment[k])
+		}
+	}
+
+	if rec.Responses == nil {
+		dst = append(dst, binMapNil)
+	} else {
+		dst = append(dst, binMapPresent)
+		*keys = (*keys)[:0]
+		for k := range rec.Responses {
+			*keys = append(*keys, k)
+		}
+		sort.Strings(*keys)
+		dst = binary.AppendUvarint(dst, uint64(len(*keys)))
+		var bits [8]byte
+		for _, k := range *keys {
+			dst = appendBinaryString(dst, k)
+			binary.LittleEndian.PutUint64(bits[:], math.Float64bits(rec.Responses[k]))
+			dst = append(dst, bits[:]...)
+		}
+	}
+	return dst
+}
+
+func appendBinaryString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// binDecoder is a bounds-checked cursor over one binary record payload.
+type binDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *binDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("runstore: corrupt binary record payload: truncated %s", what)
+	}
+}
+
+func (d *binDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *binDecoder) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *binDecoder) str(what string) string {
+	n := d.uvarint(what + " length")
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *binDecoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.fail(what)
+		return 0
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c
+}
+
+// decodeBinaryRecord parses one binary record payload. It accepts
+// exactly what appendBinaryRecord emits; trailing bytes, truncated
+// fields, or impossible counts are errors, never partial records.
+func decodeBinaryRecord(b []byte) (Record, error) {
+	d := &binDecoder{b: b}
+	var rec Record
+	rec.Experiment = d.str("experiment")
+	rec.Hash = d.str("hash")
+	rec.Replicate = int(d.varint("replicate"))
+	rec.Row = int(d.varint("row"))
+
+	switch marker := d.byte("assignment marker"); marker {
+	case binMapNil:
+	case binMapPresent:
+		n := d.uvarint("assignment count")
+		if d.err == nil && n > uint64(len(d.b)) {
+			// Every entry costs at least two bytes; a count beyond the
+			// remaining payload is corruption, not a big record.
+			return Record{}, fmt.Errorf("runstore: corrupt binary record payload: assignment count %d exceeds payload", n)
+		}
+		m := make(map[string]string, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			k := d.str("assignment key")
+			m[k] = d.str("assignment value")
+		}
+		rec.Assignment = m
+	default:
+		if d.err == nil {
+			return Record{}, fmt.Errorf("runstore: corrupt binary record payload: bad assignment marker %d", marker)
+		}
+	}
+
+	switch marker := d.byte("responses marker"); marker {
+	case binMapNil:
+	case binMapPresent:
+		n := d.uvarint("responses count")
+		if d.err == nil && n > uint64(len(d.b)) {
+			return Record{}, fmt.Errorf("runstore: corrupt binary record payload: responses count %d exceeds payload", n)
+		}
+		m := make(map[string]float64, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			k := d.str("response name")
+			if d.err == nil && len(d.b) < 8 {
+				d.fail("response value")
+				break
+			}
+			if d.err == nil {
+				m[k] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[:8]))
+				d.b = d.b[8:]
+			}
+		}
+		rec.Responses = m
+	default:
+		if d.err == nil {
+			return Record{}, fmt.Errorf("runstore: corrupt binary record payload: bad responses marker %d", marker)
+		}
+	}
+
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if len(d.b) != 0 {
+		return Record{}, fmt.Errorf("runstore: corrupt binary record payload: %d trailing byte(s)", len(d.b))
+	}
+	return rec, nil
+}
+
+// appendRecordFrame appends rec's complete frame — header plus payload —
+// to dst and returns the extended buffer. The header is reserved up
+// front and patched after the payload is encoded in place: one buffer,
+// no payload copy.
+func appendRecordFrame(dst []byte, rec Record) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, binFrameHeaderSize)...)
+	dst = appendBinaryRecord(dst, rec)
+	payload := dst[base+binFrameHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[base:base+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[base+4:base+8], crc32.Checksum(payload, binCastagnoli))
+	return dst
+}
+
+// encodeBinaryFrame encodes rec as one complete frame into a buffer
+// borrowed from the pool. The caller must return the buffer with
+// putBinBuf once the bytes are written out.
+func encodeBinaryFrame(rec Record) *[]byte {
+	bufp := binBufPool.Get().(*[]byte)
+	*bufp = appendRecordFrame((*bufp)[:0], rec)
+	return bufp
+}
+
+// putBinBuf returns an encode buffer to the pool. Oversized buffers
+// (one huge record) are dropped rather than pinned in the pool.
+func putBinBuf(bufp *[]byte) {
+	if cap(*bufp) > 1<<20 {
+		return
+	}
+	*bufp = (*bufp)[:0]
+	binBufPool.Put(bufp)
+}
+
+// scanBinary is the one implementation of the binary journal's frame
+// walk and torn-tail rule, shared by OpenBinary and the streaming
+// reader (and through it Inspect, Merge, and Compact) the same way
+// scanJournal is shared on the JSONL side. It reads frames from r
+// (positioned just past the magic; base is that absolute file offset),
+// fully decoding each record and calling fn with the record and its
+// frame extent, and returns the absolute offset up to which the input
+// is intact.
+//
+// Unlike the JSONL journal, whose newline framing can resynchronize,
+// length-prefixed framing cannot: the first invalid frame — short
+// header, short payload, checksum mismatch — ends the readable region
+// (torn=true, everything before it kept), the archive's recovery rule.
+// Two invalid shapes a torn single-write append cannot produce are
+// errors, never a torn tail: a complete header claiming an impossible
+// payload length, and a checksum-valid payload that does not decode.
+func scanBinary(r io.Reader, base int64, fn func(rec Record, ext Extent) error) (keep int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	off := base
+	var hdr [binFrameHeaderSize]byte
+	var payload []byte
+	for {
+		if _, rerr := io.ReadFull(br, hdr[:]); rerr != nil {
+			if rerr == io.EOF {
+				return off, false, nil // clean EOF at a frame boundary
+			}
+			if rerr == io.ErrUnexpectedEOF {
+				return off, true, nil // torn mid-header
+			}
+			return 0, false, fmt.Errorf("runstore: %w", rerr)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n > maxBinaryPayload {
+			// A torn append leaves a prefix of a valid frame, so a complete
+			// header is a written header; an absurd length is damage that
+			// must surface, not truncate.
+			return 0, false, fmt.Errorf("corrupt binary journal: frame at byte %d claims %d-byte payload (max %d)", off, n, maxBinaryPayload)
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, rerr := io.ReadFull(br, payload); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return off, true, nil // torn mid-payload
+			}
+			return 0, false, fmt.Errorf("runstore: %w", rerr)
+		}
+		if crc32.Checksum(payload, binCastagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return off, true, nil
+		}
+		rec, derr := decodeBinaryRecord(payload)
+		if derr != nil {
+			// The checksum vouches for the bytes, so a payload that does
+			// not decode was written corrupt — an error, never a torn tail.
+			return 0, false, fmt.Errorf("corrupt binary record at byte %d: %v", off, derr)
+		}
+		if rec.Hash == "" {
+			rec.Hash = AssignmentHash(rec.Assignment)
+		}
+		frameLen := int64(binFrameHeaderSize) + int64(len(payload))
+		if ferr := fn(rec, Extent{Off: off, Len: frameLen}); ferr != nil {
+			return 0, false, ferr
+		}
+		off += frameLen
+	}
+}

@@ -1,0 +1,38 @@
+package runstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runstore"
+	"repro/internal/runstore/storetest"
+)
+
+// TestBinaryJournalConformance runs the shared Store contract suite
+// against the binary-framed journal backend.
+func TestBinaryJournalConformance(t *testing.T) {
+	storetest.Run(t, storetest.Backend{
+		Name: "binary",
+		Open: func(t *testing.T, dir string) runstore.Store {
+			j, err := runstore.OpenBinaryDir(dir, "e")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return j
+		},
+		Tear: func(t *testing.T, dir string) {
+			// A crash mid-append leaves a prefix of a frame: here a full
+			// header claiming a 64-byte payload with only 3 payload bytes
+			// behind it.
+			f, err := os.OpenFile(filepath.Join(dir, "e.binj"), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.Write([]byte{64, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+}

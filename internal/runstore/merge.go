@@ -7,7 +7,9 @@ import (
 	"iter"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Conflict is one key whose stored measurements disagree across merge
@@ -272,9 +274,36 @@ func (p *mergePlan) each(fn func(s *mergeSource, e SourceEntry) error) error {
 	}
 }
 
+// parallelMergeThreshold is the winner count below which records()
+// stays serial: a handful of records never amortizes the pool setup,
+// and small merges dominate the test suite. A var, not a const, so
+// tests can force the parallel path on small inputs.
+var parallelMergeThreshold = 4096
+
 // records adapts the k-way iteration to the record sequence shape
-// Format.Write consumes, decoding one record per step.
+// Format.Write consumes. The cursor merge itself is inherently serial
+// (it is what defines the canonical output order), but record decode —
+// a positioned read plus a JSON or binary parse — is not, so large
+// merges run decodes on an ordered worker pool and the consumer drains
+// results in submission order. Output order, and therefore output
+// bytes, are identical to the serial path.
 func (p *mergePlan) records() iter.Seq2[Record, error] {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8 // decode parallelism saturates well before the I/O does
+	}
+	total := 0
+	for _, s := range p.sources {
+		total += len(s.winners)
+	}
+	if workers < 2 || total < parallelMergeThreshold {
+		return p.recordsSerial()
+	}
+	return p.recordsParallel(workers)
+}
+
+// recordsSerial decodes one record per step on the caller's goroutine.
+func (p *mergePlan) recordsSerial() iter.Seq2[Record, error] {
 	return func(yield func(Record, error) bool) {
 		stop := fmt.Errorf("stop") // sentinel, never escapes
 		err := p.each(func(s *mergeSource, e SourceEntry) error {
@@ -293,16 +322,105 @@ func (p *mergePlan) records() iter.Seq2[Record, error] {
 	}
 }
 
+// decodeJob is one record decode in flight on the merge worker pool.
+// out is buffered, so a worker never blocks delivering its result and
+// the pool drains cleanly however the consumer exits.
+type decodeJob struct {
+	r   SourceReader
+	ext Extent
+	out chan decodeResult
+}
+
+type decodeResult struct {
+	rec Record
+	err error
+}
+
+// recordsParallel is records() over a decode pool: a feeder walks the
+// k-way cursor merge in canonical order, handing each winner to the
+// workers and — through a second channel carrying the same jobs in
+// submission order — to the consumer, which blocks on each job's own
+// result slot. Decodes overlap; delivery order does not change.
+//
+// Early exit (the consumer stops yielding, or a decode fails) closes
+// done; the feeder sees it at its next send, closes the job channels,
+// and the deferred Wait holds the iterator until every worker has
+// retired — no goroutine outlives the range loop, which is what keeps
+// plan.Close safe to run right after it.
+func (p *mergePlan) recordsParallel(workers int) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		jobs := make(chan *decodeJob, workers)
+		order := make(chan *decodeJob, 2*workers)
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		defer wg.Wait()
+		defer close(done)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					rec, err := j.r.Read(j.ext)
+					j.out <- decodeResult{rec: rec, err: err}
+				}
+			}()
+		}
+		stop := fmt.Errorf("stop") // sentinel, never escapes
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(jobs)
+			defer close(order)
+			p.each(func(s *mergeSource, e SourceEntry) error {
+				j := &decodeJob{r: s.r, ext: e.Ext, out: make(chan decodeResult, 1)}
+				select {
+				case order <- j:
+				case <-done:
+					return stop
+				}
+				select {
+				case jobs <- j:
+				case <-done:
+					return stop
+				}
+				return nil
+			})
+		}()
+		for j := range order {
+			res := <-j.out
+			if res.err != nil {
+				yield(Record{}, res.err)
+				return
+			}
+			if !yield(res.rec, nil) {
+				return
+			}
+		}
+	}
+}
+
 // writeJournal streams the plan's winners into a JSONL journal at dst,
-// decoding and re-marshaling one record at a time — every output line
-// is the canonical encoding regardless of how the source frame was
-// written, which is what makes "merging a single source canonicalizes
-// it" hold even for hand-edited journals.
+// decoding (via records(), so large merges decode on the worker pool)
+// and re-marshaling one record at a time — every output line is the
+// canonical encoding regardless of how the source frame was written,
+// which is what makes "merging a single source canonicalizes it" hold
+// even for hand-edited journals.
 func (p *mergePlan) writeJournal(dst, modeFrom string) error {
 	return atomicWrite(dst, modeFrom, func(w *bufio.Writer) error {
-		return p.each(func(s *mergeSource, e SourceEntry) error {
-			return writeEntry(w, s.r, e)
-		})
+		for rec, err := range p.records() {
+			if err != nil {
+				return err
+			}
+			line, merr := json.Marshal(rec)
+			if merr != nil {
+				return fmt.Errorf("runstore: %w", merr)
+			}
+			w.Write(line)
+			if werr := w.WriteByte('\n'); werr != nil {
+				return werr
+			}
+		}
+		return nil
 	})
 }
 

@@ -54,7 +54,10 @@ type SourceReader interface {
 	// frame yields the error and stops.
 	Entries() iter.Seq2[SourceEntry, error]
 	// Read decodes the record at ext, which must have been yielded by
-	// Entries on this reader.
+	// Entries on this reader. Read must be safe for concurrent use —
+	// every implementation serves it with a stateless positioned read
+	// (ReadAt) — because the merge write pass decodes records on a
+	// worker pool.
 	Read(ext Extent) (Record, error)
 	// Info reports the file's shape. Records/Torn are complete only
 	// after Entries has been fully consumed.

@@ -14,6 +14,25 @@ import (
 // to truncate and resume past; on the wire it is a truncated upload the
 // receiver must reject, because "resume" for a network stream is the
 // sender retrying, not the receiver guessing.
+//
+// The binary encoding mirrors the same design: a binary wire stream is
+// the binary journal's frame sequence without the leading magic (the
+// Content-Type identifies the framing; a magic would be redundant and
+// would break stream concatenation). Negotiation is by media type —
+// WireJSONType vs WireBinaryType — with JSON the default and the
+// fallback every peer must accept.
+
+// Wire media types. The collector's ingest endpoint dispatches on the
+// request Content-Type and its snapshot endpoint honors Accept; any
+// other (or absent) type means WireJSONType, the version-1 canonical
+// encoding every peer speaks.
+const (
+	// WireJSONType frames records as '\n'-terminated JSON lines.
+	WireJSONType = "application/x-ndjson"
+	// WireBinaryType frames records as length-prefixed CRC-32C-checksummed
+	// binary frames (docs/FORMAT.md).
+	WireBinaryType = "application/x-repro-binary"
+)
 
 // EncodeWire writes one record to w in the journal/wire line framing:
 // the record's canonical JSON marshaling followed by '\n', the exact
@@ -46,6 +65,52 @@ func EncodeWire(w io.Writer, rec Record) error {
 func DecodeWire(r io.Reader, fn func(Record) error) (int, error) {
 	n := 0
 	_, torn, err := scanJournal(r, func(rec Record, _ Extent) error {
+		rec, err := NormalizeAppend(rec)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if torn {
+		return n, fmt.Errorf("runstore: wire stream truncated mid-record after %d record(s)", n)
+	}
+	return n, nil
+}
+
+// EncodeWireBinary writes one record to w in the binary wire framing:
+// one length-prefixed checksummed frame, the exact bytes
+// BinaryJournal.Append would persist. Like EncodeWire it validates and
+// canonicalizes first, and it encodes through the pooled buffer, so the
+// binary ingest hot path allocates nothing per record.
+func EncodeWireBinary(w io.Writer, rec Record) error {
+	rec, err := NormalizeAppend(rec)
+	if err != nil {
+		return err
+	}
+	bufp := encodeBinaryFrame(rec)
+	defer putBinBuf(bufp)
+	if _, err := w.Write(*bufp); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
+}
+
+// DecodeWireBinary is DecodeWire for the binary framing: it reads a
+// stream of binary frames from r, calling fn with each decoded,
+// canonicalized record in stream order, and returns how many records fn
+// accepted. As on the JSON wire, a torn trailing frame is an error —
+// the sender was cut off mid-record — and so is any frame a journal
+// open would refuse.
+func DecodeWireBinary(r io.Reader, fn func(Record) error) (int, error) {
+	n := 0
+	_, torn, err := scanBinary(r, 0, func(rec Record, _ Extent) error {
 		rec, err := NormalizeAppend(rec)
 		if err != nil {
 			return err

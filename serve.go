@@ -142,6 +142,12 @@ type WorkConfig struct {
 	// FlushEvery is the ingest batch size in records; < 1 means 32, and
 	// 1 streams every completed unit immediately.
 	FlushEvery int
+	// BinaryWire streams ingest uploads (and asks for warm-start
+	// snapshots) in the binary wire framing instead of the NDJSON
+	// default. The framing is negotiated per request by media type, so
+	// the flag is safe against any collector — a JSON-only server simply
+	// answers in JSON. It is the -Dworker.binary knob.
+	BinaryWire bool
 	// LogLevel selects the worker's structured stderr log: "debug",
 	// "info" (also the "" default), or "quiet" to discard. It is the
 	// -Dcollector.log knob of `perfeval work`.
@@ -203,6 +209,7 @@ func Work(ctx context.Context, id string, cfg WorkConfig) (*WorkOutcome, error) 
 		Timeout:    cfg.Timeout,
 		SpoolDir:   cfg.SpoolDir,
 		FlushEvery: cfg.FlushEvery,
+		BinaryWire: cfg.BinaryWire,
 		Logger:     logger,
 	})
 	if err != nil {

@@ -33,6 +33,12 @@ type CompactStats = runstore.CompactStats
 // Merge or Convert destination carrying it is written as an archive.
 const ArchiveExt = archivestore.Ext
 
+// ArchiveExtZ is the compressed-archive destination extension: the same
+// block-indexed layout with every record block DEFLATE-compressed
+// (docs/FORMAT.md §6). The file carries the same magic, so readers need
+// no hint — the extension only selects the encoding at write time.
+const ArchiveExtZ = archivestore.ExtZ
+
 // Store is a read-only, format-sniffing view of one store file — a
 // JSONL journal or a block-indexed archive, dispatched by content, so
 // renamed files keep working. It never creates, repairs, or truncates
@@ -118,7 +124,8 @@ type ConvertStats struct {
 }
 
 // Convert merges the store files at srcs into a finalized block-indexed
-// archive at dst (which must end in ArchiveExt) and verifies the
+// archive at dst (which must end in ArchiveExt, or ArchiveExtZ for
+// compressed record blocks) and verifies the
 // artifact: every record of a second streaming pass over the merged
 // view must be served back, identical, by the archive's index — a
 // conversion that cannot be read back is worse than no conversion,
@@ -129,8 +136,8 @@ type ConvertStats struct {
 // long-lived baseline is the most expensive place to hide one.
 func Convert(dst string, srcs []string, strict bool) (ConvertStats, error) {
 	var cs ConvertStats
-	if !strings.HasSuffix(dst, ArchiveExt) {
-		return cs, fmt.Errorf("archive destination %q must end in %s", dst, ArchiveExt)
+	if !strings.HasSuffix(dst, ArchiveExt) && !strings.HasSuffix(dst, ArchiveExtZ) {
+		return cs, fmt.Errorf("archive destination %q must end in %s or %s", dst, ArchiveExt, ArchiveExtZ)
 	}
 	ms, err := runstore.MergeChecked(srcs, dst, strict)
 	cs.MergeStats = ms

@@ -1,0 +1,279 @@
+// Command benchcodec measures the record codecs head to head and
+// writes the BENCH_codec.json snapshot: the JSON (NDJSON journal) and
+// binary (length-prefixed checksummed frame) encodings over the same
+// 10^5-record workload, through the four paths where the codec is the
+// cost — encode, decode, store scan (open + full read), and a two-source
+// merge into a same-format destination.
+//
+// The headline is the binary/JSON throughput ratio per path; the
+// acceptance bar for the binary format is >= 2x on the bulk write
+// (merge) and encode paths. Run via `make bench-codec`; regenerate
+// after codec changes and commit the diff alongside them.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/runstore"
+)
+
+// result is one (operation, format) measurement: the best wall time of
+// `rounds` runs over the full record set.
+type result struct {
+	Op               string  `json:"op"`
+	Format           string  `json:"format"`
+	Records          int     `json:"records"`
+	Seconds          float64 `json:"seconds"`
+	RecordsPerSecond float64 `json:"records_per_second"`
+}
+
+// snapshot is the BENCH_codec.json document.
+type snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Note      string   `json:"note"`
+	Records   int      `json:"records"`
+	Runs      []result `json:"runs"`
+	// Ratios maps each operation to binary throughput / JSON
+	// throughput — the speedup the binary codec buys on that path.
+	Ratios map[string]float64 `json:"ratios"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_codec.json", "snapshot output path")
+	total := flag.Int("records", 100_000, "records per measurement")
+	rounds := flag.Int("rounds", 3, "repetitions per measurement (best kept)")
+	flag.Parse()
+
+	recs := buildRecords(*total)
+	snap := snapshot{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Note:      "same records through both codecs; scan = open + full read of a one-file store; merge = two half-size sources into a same-format destination",
+		Records:   *total,
+		Ratios:    map[string]float64{},
+	}
+
+	dir, err := os.MkdirTemp("", "benchcodec-")
+	if err != nil {
+		log.Fatalf("benchcodec: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	ops := []struct {
+		op    string
+		setup func(format string) (func() error, error)
+	}{
+		{"encode", func(format string) (func() error, error) {
+			encode := runstore.EncodeWire
+			if format == "binary" {
+				encode = runstore.EncodeWireBinary
+			}
+			return func() error {
+				for _, rec := range recs {
+					if err := encode(io.Discard, rec); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, nil
+		}},
+		{"decode", func(format string) (func() error, error) {
+			encode, decode := runstore.EncodeWire, runstore.DecodeWire
+			if format == "binary" {
+				encode, decode = runstore.EncodeWireBinary, runstore.DecodeWireBinary
+			}
+			var buf bytes.Buffer
+			for _, rec := range recs {
+				if err := encode(&buf, rec); err != nil {
+					return nil, err
+				}
+			}
+			data := buf.Bytes()
+			want := len(recs)
+			return func() error {
+				n, err := decode(bytes.NewReader(data), func(runstore.Record) error { return nil })
+				if err != nil {
+					return err
+				}
+				if n != want {
+					return fmt.Errorf("decoded %d record(s), want %d", n, want)
+				}
+				return nil
+			}, nil
+		}},
+		{"scan", func(format string) (func() error, error) {
+			path := filepath.Join(dir, "scan-"+format+extOf(format))
+			if err := writeStore(path, format, recs); err != nil {
+				return nil, err
+			}
+			want := len(recs)
+			return func() error {
+				n := 0
+				err := scanStore(path, format, func(runstore.Record) { n++ })
+				if err != nil {
+					return err
+				}
+				if n != want {
+					return fmt.Errorf("scanned %d record(s), want %d", n, want)
+				}
+				return nil
+			}, nil
+		}},
+		{"merge", func(format string) (func() error, error) {
+			half := len(recs) / 2
+			s0 := filepath.Join(dir, "m0-"+format+extOf(format))
+			s1 := filepath.Join(dir, "m1-"+format+extOf(format))
+			if err := writeStore(s0, format, recs[:half]); err != nil {
+				return nil, err
+			}
+			if err := writeStore(s1, format, recs[half:]); err != nil {
+				return nil, err
+			}
+			dst := filepath.Join(dir, "merged-"+format+extOf(format))
+			want := len(recs)
+			return func() error {
+				ms, err := runstore.Merge([]string{s0, s1}, dst)
+				if err != nil {
+					return err
+				}
+				if ms.Kept != want {
+					return fmt.Errorf("merge kept %d record(s), want %d", ms.Kept, want)
+				}
+				return nil
+			}, nil
+		}},
+	}
+
+	for _, op := range ops {
+		var perFormat [2]float64
+		for i, format := range []string{"json", "binary"} {
+			fn, err := op.setup(format)
+			if err != nil {
+				log.Fatalf("benchcodec: %s/%s setup: %v", op.op, format, err)
+			}
+			best := time.Duration(0)
+			for r := 0; r < *rounds; r++ {
+				start := time.Now()
+				if err := fn(); err != nil {
+					log.Fatalf("benchcodec: %s/%s: %v", op.op, format, err)
+				}
+				if wall := time.Since(start); best == 0 || wall < best {
+					best = wall
+				}
+			}
+			rps := float64(len(recs)) / best.Seconds()
+			perFormat[i] = rps
+			fmt.Printf("%-6s %-6s %9.3fs  %12.0f records/s\n", op.op, format, best.Seconds(), rps)
+			snap.Runs = append(snap.Runs, result{
+				Op: op.op, Format: format, Records: len(recs),
+				Seconds: best.Seconds(), RecordsPerSecond: rps,
+			})
+		}
+		snap.Ratios[op.op] = perFormat[1] / perFormat[0]
+		fmt.Printf("%-6s binary/json ratio %.2fx\n", op.op, snap.Ratios[op.op])
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatalf("benchcodec: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("benchcodec: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// buildRecords shapes the workload like the in-repo codec benchmarks: a
+// two-field assignment with a 64-byte pad, one response, pre-normalized
+// so the timed sections measure the codec rather than canonicalization.
+func buildRecords(n int) []runstore.Record {
+	pad := strings.Repeat("x", 64)
+	recs := make([]runstore.Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec, err := runstore.NormalizeAppend(runstore.Record{
+			Experiment: "bench-codec",
+			Row:        i,
+			Replicate:  0,
+			Assignment: map[string]string{"cell": fmt.Sprintf("c%06d", i), "pad": pad},
+			Responses:  map[string]float64{"ms": float64(i) + 0.5},
+		})
+		if err != nil {
+			log.Fatalf("benchcodec: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func extOf(format string) string {
+	if format == "binary" {
+		return runstore.BinaryExt
+	}
+	return ".jsonl"
+}
+
+// writeStore bulk-writes the records as one store file: the exact bytes
+// the journal's Append would produce (EncodeWire/EncodeWireBinary emit
+// the persisted framing), without paying a per-record fsync in setup.
+func writeStore(path, format string, recs []runstore.Record) error {
+	var buf bytes.Buffer
+	encode := runstore.EncodeWire
+	if format == "binary" {
+		buf.WriteString(runstore.BinaryMagic)
+		encode = runstore.EncodeWireBinary
+	}
+	for _, rec := range recs {
+		if err := encode(&buf, rec); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// scanStore opens the store and reads every record through the public
+// Scan sequence.
+func scanStore(path, format string, fn func(runstore.Record)) error {
+	if format == "binary" {
+		j, err := runstore.OpenBinary(path)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		for rec, err := range j.Scan() {
+			if err != nil {
+				return err
+			}
+			fn(rec)
+		}
+		return nil
+	}
+	j, err := runstore.Open(path)
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	for rec, err := range j.Scan() {
+		if err != nil {
+			return err
+		}
+		fn(rec)
+	}
+	return nil
+}

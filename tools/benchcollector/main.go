@@ -42,6 +42,7 @@ const benchExperiment = "bench ingest"
 // result is one fleet configuration's measurement.
 type result struct {
 	Workers          int     `json:"workers"`
+	Wire             string  `json:"wire"` // ingest framing: "json" or "binary"
 	Records          int     `json:"records"`
 	Batch            int     `json:"batch"`
 	IngestSeconds    float64 `json:"ingest_seconds"`
@@ -80,13 +81,15 @@ func main() {
 		Note:      "synthetic records over loopback HTTP; one shard lease per worker; merge folds the collector's shard stores into one canonical journal",
 	}
 	for _, fleet := range []int{1, 4, 16} {
-		r, err := run(fleet, *total, *batch)
-		if err != nil {
-			log.Fatalf("benchcollector: %d worker(s): %v", fleet, err)
+		for _, wire := range []string{"json", "binary"} {
+			r, err := run(fleet, *total, *batch, wire)
+			if err != nil {
+				log.Fatalf("benchcollector: %d worker(s), %s wire: %v", fleet, wire, err)
+			}
+			fmt.Printf("%2d worker(s), %-6s wire: %d records ingested in %.3fs (%.0f records/s), merged in %.3fs\n",
+				fleet, wire, r.Records, r.IngestSeconds, r.RecordsPerSecond, r.MergeSeconds)
+			snap.Runs = append(snap.Runs, r)
 		}
-		fmt.Printf("%2d worker(s): %d records ingested in %.3fs (%.0f records/s), merged in %.3fs\n",
-			fleet, r.Records, r.IngestSeconds, r.RecordsPerSecond, r.MergeSeconds)
-		snap.Runs = append(snap.Runs, r)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -100,8 +103,9 @@ func main() {
 
 // run measures one fleet configuration: `fleet` concurrent workers,
 // each holding one shard lease of a `fleet`-shard experiment, streaming
-// its pre-bucketed share of `total` records in `batch`-record ingests.
-func run(fleet, total, batch int) (result, error) {
+// its pre-bucketed share of `total` records in `batch`-record ingests
+// over the given wire framing ("json" or "binary").
+func run(fleet, total, batch int, wire string) (result, error) {
 	dir, err := os.MkdirTemp("", "benchcollector-")
 	if err != nil {
 		return result{}, err
@@ -150,7 +154,7 @@ func run(fleet, total, batch int) (result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[k] = stream(base, fmt.Sprintf("bench-%d", k), buckets, batch)
+			errs[k] = stream(base, fmt.Sprintf("bench-%d", k), buckets, batch, wire == "binary")
 		}()
 	}
 	wg.Wait()
@@ -173,6 +177,7 @@ func run(fleet, total, batch int) (result, error) {
 	}
 	return result{
 		Workers:          fleet,
+		Wire:             wire,
 		Records:          total,
 		Batch:            batch,
 		IngestSeconds:    ingest.Seconds(),
@@ -185,9 +190,10 @@ func run(fleet, total, batch int) (result, error) {
 
 // stream is one bench worker: acquire a shard lease, ingest that
 // shard's bucket in batches, release complete.
-func stream(base, name string, buckets [][]runstore.Record, batch int) error {
+func stream(base, name string, buckets [][]runstore.Record, batch int, binary bool) error {
 	ctx := context.Background()
 	c := client.New(base, nil)
+	c.SetBinary(binary)
 	grant, err := c.Acquire(ctx, name, benchExperiment)
 	if err != nil {
 		return err
