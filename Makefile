@@ -80,3 +80,17 @@ bench-codec:
 .PHONY: cover
 cover:
 	$(GO) test -cover ./...
+
+# Fault-injection soak: a worker fleet collects one experiment while
+# the daemon is killed and restarted mid-ingest, workers are killed
+# mid-stream, connections are torn, and a tiny ingest budget forces a
+# 429 storm; the merged+compacted store must stay byte-identical to a
+# single-process run. `soak` runs the full schedule, `soak-short` is
+# the ~seconds smoke CI runs on every push. Both race-checked.
+.PHONY: soak
+soak:
+	SOAK_FULL=1 $(GO) test -race -count=1 -v -run 'TestSoak$$' -timeout 10m ./internal/collector/soaktest
+
+.PHONY: soak-short
+soak-short:
+	$(GO) test -race -count=1 -short -run 'TestSoak$$' -timeout 5m ./internal/collector/soaktest

@@ -22,6 +22,7 @@ func serveCmd(ctx context.Context, w io.Writer, props *config.Properties) error 
 		Addr:     props.GetOr("collector.addr", ""),
 		Dir:      dir,
 		Baseline: props.GetOr("collector.baseline", ""),
+		Token:    props.GetOr("collector.token", ""),
 		LogLevel: props.GetOr("collector.log", ""),
 		Ready: func(addr string) {
 			fmt.Fprintf(w, "collector listening on %s, store dir %s\n", addr, dir)
@@ -50,6 +51,11 @@ func serveCmd(ctx context.Context, w io.Writer, props *config.Properties) error 
 			return fmt.Errorf("collector.inflight = %d, need >= 1 (bytes)", n)
 		}
 		cfg.MaxInflight = int64(n)
+	}
+	if props.GetOr("collector.commitwindow", "") != "" {
+		if cfg.CommitWindow, err = props.GetDuration("collector.commitwindow"); err != nil {
+			return err
+		}
 	}
 	return repro.Serve(ctx, cfg)
 }
@@ -113,6 +119,7 @@ func buildWorkConfig(props *config.Properties) (repro.WorkConfig, error) {
 		URL:      props.GetOr("collector.url", ""),
 		Name:     props.GetOr("worker.name", ""),
 		SpoolDir: props.GetOr("worker.spool", ""),
+		Token:    props.GetOr("worker.token", ""),
 		LogLevel: props.GetOr("collector.log", ""),
 	}
 	if cfg.URL == "" {

@@ -71,8 +71,14 @@
 // bytes; HTTP 429 + Retry-After) bounds ingest memory. The collector's
 // merged store is byte-identical to a single-process run; GET
 // /v1/status endpoints expose worker, lease, per-cell replicate, and
-// (with -Dcollector.baseline) regression-gate state. The wire protocol
-// is documented in docs/COLLECTOR.md.
+// (with -Dcollector.baseline) regression-gate state. The daemon is
+// restartable: worker registrations and lease grants are journaled in
+// -Dcollector.dir, a restarted daemon resumes them, and workers ride
+// out the restart on transport retries. -Dcollector.token arms shared
+// bearer-token auth on every mutating endpoint (workers pass the same
+// value as -Dworker.token), and -Dcollector.commitwindow tunes the
+// group-commit engine that coalesces concurrent ingest batches into
+// one fsync. The wire protocol is documented in docs/COLLECTOR.md.
 //
 // Observability: the daemon and worker log structured events through
 // log/slog at the level -Dcollector.log selects (debug, info — the
@@ -174,13 +180,13 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 
 	case "serve":
 		if len(rest) != 1 {
-			return fmt.Errorf("usage: perfeval serve -Dcollector.dir=DIR [-Dcollector.addr=:8080] [-Dcollector.shards=N] [-Dcollector.ttl=30s] [-Dcollector.inflight=BYTES] [-Dcollector.baseline=PATH]")
+			return fmt.Errorf("usage: perfeval serve -Dcollector.dir=DIR [-Dcollector.addr=:8080] [-Dcollector.shards=N] [-Dcollector.ttl=30s] [-Dcollector.inflight=BYTES] [-Dcollector.baseline=PATH] [-Dcollector.token=SECRET] [-Dcollector.commitwindow=2ms]")
 		}
 		return serveCmd(ctx, w, props)
 
 	case "work":
 		if len(rest) < 2 {
-			return fmt.Errorf("usage: perfeval work <id>|all -Dcollector.url=URL [-Dsched.workers=N] [-Dworker.name=NAME] [-Dworker.spool=DIR] [-Dworker.flush=N]")
+			return fmt.Errorf("usage: perfeval work <id>|all -Dcollector.url=URL [-Dsched.workers=N] [-Dworker.name=NAME] [-Dworker.spool=DIR] [-Dworker.flush=N] [-Dworker.token=SECRET]")
 		}
 		return workCmd(ctx, w, props, rest[1:])
 

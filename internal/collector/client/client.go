@@ -47,6 +47,7 @@ type Client struct {
 	met    *clientMetrics
 	log    *slog.Logger
 	binary bool
+	token  string
 }
 
 // New returns a Client for the collector at base (e.g.
@@ -74,6 +75,12 @@ func New(base string, httpClient *http.Client) *Client {
 // request; like SetMetrics and SetLogger it is not synchronized with
 // in-flight calls.
 func (c *Client) SetBinary(on bool) { c.binary = on }
+
+// SetToken attaches the collector's shared bearer token to every request
+// (collector.Config.Token on the server side). Empty sends no
+// Authorization header. Configure before the first request, like
+// SetBinary.
+func (c *Client) SetToken(token string) { c.token = token }
 
 // Register announces the worker, returning the (server-assigned when
 // empty) worker name.
@@ -125,12 +132,15 @@ func (c *Client) Snapshot(ctx context.Context, lease string) (map[string]runstor
 	if c.binary {
 		req.Header.Set("Accept", runstore.WireBinaryType)
 	}
-	httpResp, err := c.hc.Do(req)
+	httpResp, err := c.doRetry(ctx, controlRetries, func() (*http.Request, error) {
+		return req.Clone(ctx), nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer drain(httpResp)
-	if httpResp.StatusCode == http.StatusGone {
+	if httpResp.StatusCode == http.StatusGone ||
+		(httpResp.StatusCode == http.StatusConflict && staleLease(httpResp)) {
 		return nil, fmt.Errorf("%w: %s", ErrLeaseLost, serverError(httpResp))
 	}
 	if httpResp.StatusCode != http.StatusOK {
@@ -187,9 +197,11 @@ func (c *Client) Ingest(ctx context.Context, lease string, recs []runstore.Recor
 	req.Header.Set("Idempotency-Key",
 		fmt.Sprintf("%s-%08x-%d", lease, crc32.ChecksumIEEE(payload), len(recs)))
 	for {
-		attempt := req.Clone(ctx)
-		attempt.Body, _ = attempt.GetBody()
-		httpResp, err := c.hc.Do(attempt)
+		httpResp, err := c.doRetry(ctx, ingestRetries, func() (*http.Request, error) {
+			attempt := req.Clone(ctx)
+			attempt.Body, _ = attempt.GetBody()
+			return attempt, nil
+		})
 		if err != nil {
 			return err
 		}
@@ -220,8 +232,12 @@ func (c *Client) Ingest(ctx context.Context, lease string, recs []runstore.Recor
 			drain(httpResp)
 			return fmt.Errorf("%w: %s", ErrLeaseLost, msg)
 		case http.StatusConflict:
+			stale := staleLease(httpResp)
 			msg := serverError(httpResp)
 			drain(httpResp)
+			if stale {
+				return fmt.Errorf("%w: %s", ErrLeaseLost, msg)
+			}
 			return fmt.Errorf("%w: %s", ErrConflict, msg)
 		default:
 			msg := serverError(httpResp)
@@ -286,23 +302,81 @@ func (c *Client) request(ctx context.Context, method, path string, query url.Val
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 	return req, nil
 }
 
-// postJSON posts one JSON request and decodes a 2xx JSON response into
-// out (out nil or a 204 skips decoding). 410 maps to ErrLeaseLost.
-func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
-	req, err := c.request(ctx, http.MethodPost, path, nil, body)
-	if err != nil {
-		return err
+// Transport-retry policy: how many times an idempotent request is
+// re-sent after a transport error (connection refused or reset — the
+// signature of a restarting daemon), with exponential backoff between
+// attempts. The total window (~6s at the ingest depth) comfortably
+// covers a daemon kill-and-restart, which is exactly the outage the
+// durable control state makes survivable: when the daemon comes back it
+// has resumed the lease, and the retried request lands as if nothing
+// happened.
+const (
+	transportRetryBase = 100 * time.Millisecond
+	transportRetryCap  = 2 * time.Second
+	ingestRetries      = 8
+	controlRetries     = 4
+)
+
+// doRetry issues a request, rebuilding it via build for each attempt,
+// and retries transport errors up to attempts times with exponential
+// backoff. HTTP responses of any status are returned to the caller —
+// only failures to get a response at all are retried, which is safe
+// precisely because every request in this protocol is idempotent
+// (last-wins stores, TTL renewals, at-least-once release).
+func (c *Client) doRetry(ctx context.Context, attempts int, build func() (*http.Request, error)) (*http.Response, error) {
+	backoff := transportRetryBase
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= attempts || ctx.Err() != nil {
+			return nil, err
+		}
+		c.met.retries.Inc()
+		c.log.Debug("transport error, retrying", "attempt", attempt, "backoff", backoff, "err", err)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff = min(backoff*2, transportRetryCap)
 	}
-	httpResp, err := c.hc.Do(req)
+}
+
+// staleLease reports whether a 409 marks a lease from a previous daemon
+// epoch (collector.HeaderStaleLease) — semantically a lost lease, not a
+// conflict.
+func staleLease(resp *http.Response) bool {
+	return resp.Header.Get(collector.HeaderStaleLease) != ""
+}
+
+// postJSON posts one JSON request and decodes a 2xx JSON response into
+// out (out nil or a 204 skips decoding). 410 — and a stale-lease 409
+// from a restarted daemon — map to ErrLeaseLost. Transport errors are
+// retried briefly (the requests are idempotent), bridging a daemon
+// restart without surfacing it to the control flow above.
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	httpResp, err := c.doRetry(ctx, controlRetries, func() (*http.Request, error) {
+		return c.request(ctx, http.MethodPost, path, nil, body)
+	})
 	if err != nil {
 		return err
 	}
 	defer drain(httpResp)
 	switch {
-	case httpResp.StatusCode == http.StatusGone:
+	case httpResp.StatusCode == http.StatusGone,
+		httpResp.StatusCode == http.StatusConflict && staleLease(httpResp):
 		return fmt.Errorf("%w: %s", ErrLeaseLost, serverError(httpResp))
 	case httpResp.StatusCode >= 300:
 		return fmt.Errorf("collector client: %s: %s", path, serverError(httpResp))

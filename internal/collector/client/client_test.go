@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -279,5 +281,169 @@ func TestRetryAfter(t *testing.T) {
 		between("http-date", retryAfter(resp(date)), 7*time.Second, 13*time.Second)
 		past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
 		between("past-date", retryAfter(resp(past)), retryAfterFloor, retryAfterFloor)
+	}
+}
+
+// TestRetryAfterProperty is the property-style companion to the pinned
+// table above: randomized delta-seconds and HTTP-date headers, asserting
+// for every draw that the honored wait lands inside the jittered band
+// [0.8·base, 1.2·base], never above the 30s cap, and never below the
+// floor — with no wall-clock sleeps anywhere.
+func TestRetryAfterProperty(t *testing.T) {
+	resp := func(header string) *http.Response {
+		r := &http.Response{Header: http.Header{}}
+		if header != "" {
+			r.Header.Set("Retry-After", header)
+		}
+		return r
+	}
+	band := func(name string, d, base time.Duration) {
+		t.Helper()
+		base = min(base, retryAfterCap)
+		lo := max(time.Duration(0.8*float64(base)), retryAfterFloor)
+		hi := max(time.Duration(1.2*float64(base)), retryAfterFloor)
+		if d < lo || d > hi {
+			t.Fatalf("%s: wait %v outside jitter band [%v, %v]", name, d, lo, hi)
+		}
+	}
+	rng := rand.New(rand.NewPCG(0xfeed, 0xbeef))
+
+	// Delta-seconds form, 0..120s: inside the band, capped at 30s.
+	for i := 0; i < 2000; i++ {
+		secs := rng.IntN(121)
+		d := retryAfter(resp(strconv.Itoa(secs)))
+		band("delta-seconds", d, time.Duration(secs)*time.Second)
+		if d > time.Duration(1.2*float64(retryAfterCap)) {
+			t.Fatalf("wait %v above the jittered cap", d)
+		}
+	}
+
+	// "0" is a real hint: exactly the floor, every time — the jitter of a
+	// zero base is zero, and the floor is what keeps it off a hot spin.
+	for i := 0; i < 100; i++ {
+		if d := retryAfter(resp("0")); d != retryAfterFloor {
+			t.Fatalf(`"0" hint: wait %v, want exactly the %v floor`, d, retryAfterFloor)
+		}
+	}
+
+	// HTTP-date form: base is time.Until(date), so grant one second of
+	// slack below (the header has whole-second resolution and the clock
+	// moves between formatting and parsing).
+	for i := 0; i < 300; i++ {
+		offset := time.Duration(1+rng.IntN(90)) * time.Second
+		date := time.Now().Add(offset).UTC().Format(http.TimeFormat)
+		d := retryAfter(resp(date))
+		base := min(offset, retryAfterCap)
+		lo := max(time.Duration(0.8*float64(base-time.Second)), retryAfterFloor)
+		hi := max(time.Duration(1.2*float64(base)), retryAfterFloor)
+		if d < lo || d > hi {
+			t.Fatalf("http-date +%v: wait %v outside [%v, %v]", offset, d, lo, hi)
+		}
+	}
+
+	// The jitter must actually jitter: a fleet backpressured by one
+	// response has to retry staggered, not in lockstep.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		seen[retryAfter(resp("10"))] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("64 draws of a 10s hint produced only %d distinct waits — jitter looks broken", len(seen))
+	}
+}
+
+// TestRenewLoopDaemonRestartRecovers scripts a daemon restart mid-lease
+// on the fake clock: renews fail with connection-refused while the
+// daemon is down, the first renew against the restarted daemon (which
+// resumed the lease from its state journal) succeeds, and the loop is
+// still alive — no loss reported. When the shard run ends, the loop
+// exits; the harness's done channel is the goroutine-leak check.
+func TestRenewLoopDaemonRestartRecovers(t *testing.T) {
+	refused := errors.New("dial tcp 127.0.0.1:9009: connect: connection refused")
+	h := startRenewHarness(t, 30*time.Second)
+
+	h.step(5*time.Second, refused) // daemon killed
+	h.step(12*time.Second, refused)
+	h.step(19*time.Second, refused) // restarting...
+	h.expectAlive()
+	h.step(25*time.Second, nil) // back up, lease resumed: renew lands
+	h.expectAlive()
+	h.step(40*time.Second, nil) // steady state again
+	h.expectAlive()
+
+	h.cancel() // the shard run finishes
+	select {
+	case <-h.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("renewLoop goroutine leaked after the shard run ended")
+	}
+	select {
+	case err := <-h.lost:
+		t.Fatalf("a survived restart was reported as lease loss: %v", err)
+	default:
+	}
+}
+
+// TestRenewLoopDaemonRestartOutlastsTTL is the unlucky half: the daemon
+// stays down past a full TTL, so the loop must declare the lease lost
+// (exactly once, with ErrLeaseLost) and exit — and the worker's spool
+// journal must remain a valid, reopenable runstore journal holding every
+// record it executed, because that spool is the warm-start artifact the
+// shard's next owner builds on.
+func TestRenewLoopDaemonRestartOutlastsTTL(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK) // ack every ingest batch
+	}))
+	defer srv.Close()
+	spool := t.TempDir() + "/spool.jsonl"
+	store, err := newRemoteStore(context.Background(), New(srv.URL, nil), "L", spool, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]runstore.Record, 4)
+	for i := range recs {
+		recs[i] = runstore.Record{Experiment: "e", Row: i, Replicate: 0,
+			Assignment: map[string]string{"f": strconv.Itoa(i)}, Responses: map[string]float64{"ms": float64(i)}}
+		if err := store.Append(recs[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+
+	refused := errors.New("dial tcp 127.0.0.1:9009: connect: connection refused")
+	h := startRenewHarness(t, 30*time.Second)
+	h.step(10*time.Second, refused) // daemon killed...
+	h.expectAlive()
+	h.step(31*time.Second, refused) // ...and stayed dead past the TTL
+	lostErr := h.expectLost(5 * time.Second)
+	if !errors.Is(lostErr, ErrLeaseLost) {
+		t.Fatalf("lost error = %v, want ErrLeaseLost", lostErr)
+	}
+	select {
+	case <-h.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("renewLoop goroutine leaked after marking the lease lost")
+	}
+
+	// runShard's lost callback wiring: the store learns the cause, then
+	// closes without a final flush (nobody to stream to).
+	store.markLost(lostErr)
+	if err := store.Close(); err != nil {
+		t.Fatalf("closing lost store: %v", err)
+	}
+	j, err := runstore.Open(spool)
+	if err != nil {
+		t.Fatalf("spool did not reopen cleanly after lease loss: %v", err)
+	}
+	defer j.Close()
+	if j.Torn() {
+		t.Error("spool journal reopened torn")
+	}
+	if j.Len() != len(recs) {
+		t.Fatalf("spool holds %d record(s), want %d", j.Len(), len(recs))
+	}
+	for _, want := range recs {
+		if _, ok := j.Lookup(want.Experiment, runstore.AssignmentHash(want.Assignment), want.Replicate); !ok {
+			t.Errorf("spool lost record row %d", want.Row)
+		}
 	}
 }

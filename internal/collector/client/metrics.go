@@ -16,6 +16,7 @@ type clientMetrics struct {
 	waits       *obs.Counter
 	waitMs      *obs.Counter
 	spooled     *obs.Counter
+	retries     *obs.Counter
 }
 
 // newClientMetrics registers the worker series in r.
@@ -33,6 +34,8 @@ func newClientMetrics(r *obs.Registry) *clientMetrics {
 			"Total milliseconds spent honoring Retry-After hints."),
 		spooled: r.Counter("worker_spool_records_total",
 			"Records appended to the local spool journal before streaming."),
+		retries: r.Counter("worker_transport_retries_total",
+			"Requests re-sent after a transport error (a restarting or unreachable daemon)."),
 	}
 }
 

@@ -45,6 +45,10 @@ type Options struct {
 	// is negotiated per request, so the setting is safe against a server
 	// that only speaks JSON. See Client.SetBinary.
 	BinaryWire bool
+	// Token is the collector's shared bearer token, sent on every
+	// request; must match the server's collector.Config.Token when the
+	// daemon has auth enabled. See Client.SetToken.
+	Token string
 	// HTTPClient overrides the transport; nil means http.DefaultClient.
 	HTTPClient *http.Client
 	// Metrics is the registry the worker's instruments (and its
@@ -100,6 +104,7 @@ func NewWorker(opts Options) (*Worker, error) {
 	c.SetMetrics(opts.Metrics)
 	c.SetLogger(opts.Logger)
 	c.SetBinary(opts.BinaryWire)
+	c.SetToken(opts.Token)
 	return &Worker{opts: opts, c: c}, nil
 }
 
@@ -146,6 +151,13 @@ func (w *Worker) Execute(ctx context.Context, e *harness.Experiment) (*harness.R
 		spool = dir
 	}
 	var best *harness.ResultSet
+	// Transient-failure budget: a restarting daemon (connection refused
+	// on acquire, a lease lost to the restart) costs one strike per
+	// round; any completed shard run earns them all back. Only a failure
+	// streak — the daemon is really gone, not just restarting — stops
+	// the worker.
+	const maxStrikes = 10
+	strikes := 0
 	for {
 		grant, err := w.c.Acquire(ctx, w.name, e.Name)
 		switch {
@@ -165,12 +177,41 @@ func (w *Worker) Execute(ctx context.Context, e *harness.Experiment) (*harness.R
 				return nil, ctx.Err()
 			}
 		case err != nil:
-			return nil, err
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			strikes++
+			if strikes >= maxStrikes {
+				return nil, fmt.Errorf("collector client: acquire failed %d times in a row: %w", strikes, err)
+			}
+			w.opts.Logger.Warn("acquire failed, retrying",
+				"worker", w.name, "strikes", strikes, "err", err)
+			select {
+			case <-time.After(w.opts.AcquireWait):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		rs, err := w.runShard(ctx, e, spool, grant)
 		if err != nil {
+			// A lost lease — TTL expiry during a stall, a daemon restart
+			// that did not resume it — is not this worker's failure: the
+			// shard is (or will be) free again, the spool and everything
+			// the server acknowledged warm-start its next owner, and that
+			// next owner may as well be us. Re-acquire.
+			if errors.Is(err, ErrLeaseLost) && ctx.Err() == nil {
+				strikes++
+				if strikes >= maxStrikes {
+					return nil, err
+				}
+				w.opts.Logger.Warn("lease lost mid-run, re-acquiring",
+					"worker", w.name, "lease", grant.Lease, "strikes", strikes, "err", err)
+				continue
+			}
 			return nil, err
 		}
+		strikes = 0
 		best = mergeResults(best, rs)
 	}
 }

@@ -34,8 +34,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	l, ok := s.leaseLocked(id, now)
 	if !ok {
+		status, msg := s.leaseFail(w, id)
 		s.mu.Unlock()
-		writeError(w, http.StatusGone, fmt.Sprintf("collector: lease %q is not live (expired or never granted)", id))
+		writeError(w, status, msg)
 		return
 	}
 	e := l.exp
@@ -60,24 +61,50 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.inflight += reserve
+	groupCommit := s.cfg.CommitWindow > 0
+	if groupCommit {
+		if e.committers[l.shard] == nil {
+			e.committers[l.shard] = newCommitter(e.store, s.cfg.CommitWindow, s.cfg.CommitMaxBytes, s.met)
+		}
+		// Entering the submitter group under the lock pairs with Close,
+		// which flips closed first and then waits the group out — so a
+		// commit channel is never closed mid-send.
+		e.submits.Add(1)
+		defer e.submits.Done()
+	}
 	store, shard, shards := e.store, l.shard, len(e.shards)
 	s.mu.Unlock()
 	s.met.inflightBytes.Add(reserve)
-	defer func() {
+	// The reserve must be released exactly once on every exit path —
+	// decode error, commit error, conflict, success. A released that runs
+	// twice (or a path that forgets it) drifts the gauge and, once
+	// negative, jams admission open; hence one sync.Once-style closure
+	// rather than per-path arithmetic, and a regression test pinning the
+	// gauge back at zero after a torn body.
+	released := false
+	release := func() {
+		if released {
+			return
+		}
+		released = true
 		s.met.inflightBytes.Add(-reserve)
 		s.mu.Lock()
 		e.inflight -= reserve
 		s.mu.Unlock()
-	}()
+	}
+	defer release()
 
-	// Decode and append outside the control-state lock: the sharded
-	// store carries its own per-journal locking, so batches for
-	// different shards write concurrently.
+	// Decode outside the control-state lock. With group commit the batch
+	// is validated and gathered first, then submitted to the shard's
+	// committer as one unit; without it (CommitWindow < 0) each record is
+	// appended — and fsynced — as it decodes, the pre-group-commit
+	// baseline behavior.
 	decode := runstore.DecodeWire
 	if wireMediaType(r.Header.Get("Content-Type")) == runstore.WireBinaryType {
 		decode = runstore.DecodeWireBinary
 	}
 	body := &countingReader{r: r.Body}
+	var batch []runstore.Record
 	n, err := decode(body, func(rec runstore.Record) error {
 		if rec.Experiment != e.name {
 			return &ingestConflict{fmt.Sprintf("collector: record %s belongs to experiment %q, lease %s owns %q",
@@ -87,13 +114,31 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return &ingestConflict{fmt.Sprintf("collector: record %s routes to shard %d, lease %s owns shard %d of %d",
 				rec.Key(), got, id, shard, shards)}
 		}
+		if groupCommit {
+			batch = append(batch, rec)
+			return nil
+		}
 		return store.Append(rec)
 	})
+	if groupCommit {
+		// Commit the decoded records even when the stream failed partway:
+		// the valid prefix lands durably, preserving the contract that a
+		// failed batch leaves a clean prefix for the retry to converge on.
+		if cerr := e.commit(shard, batch, body.n); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			n = 0
+		} else {
+			n = len(batch)
+		}
+	}
 	s.mu.Lock()
 	e.records += int64(n)
 	s.mu.Unlock()
 	s.met.ingestRecords.Add(int64(n))
 	s.met.ingestBytes.Add(body.n)
+	release()
 	if err != nil {
 		if c, ok := err.(*ingestConflict); ok {
 			writeError(w, http.StatusConflict, c.msg)
@@ -155,8 +200,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	l, ok := s.leaseLocked(id, now)
 	if !ok {
+		status, msg := s.leaseFail(w, id)
 		s.mu.Unlock()
-		writeError(w, http.StatusGone, fmt.Sprintf("collector: lease %q is not live (expired or never granted)", id))
+		writeError(w, status, msg)
 		return
 	}
 	store, shard, shards := l.exp.store, l.shard, len(l.exp.shards)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"strconv"
 )
 
 // handleAcquire grants a shard lease on one experiment:
@@ -36,7 +35,10 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Worker != "" {
-		s.workers[req.Worker] = struct{}{}
+		if _, known := s.workers[req.Worker]; !known {
+			s.workers[req.Worker] = struct{}{}
+			s.persist(stateEvent{Type: "worker", Worker: req.Worker})
+		}
 		s.met.workers.Set(int64(len(s.workers)))
 	}
 	s.sweepLocked(e, now)
@@ -63,7 +65,7 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	l := &lease{
-		id:      "lease-" + strconv.Itoa(s.seq),
+		id:      leaseID(s.epoch, s.seq),
 		exp:     e,
 		shard:   free,
 		worker:  req.Worker,
@@ -72,6 +74,8 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	e.shards[free] = shardState{state: shardLeased, l: l}
 	e.leases[l.id] = l
 	s.met.leaseAcquired.Inc()
+	s.persist(stateEvent{Type: "acquire", Lease: l.id, Worker: l.worker,
+		Experiment: e.name, Shard: l.shard, ExpiresMS: l.expires.UnixMilli()})
 	s.log.Info("lease granted", "lease", l.id, "worker", l.worker,
 		"experiment", e.name, "shard", l.shard, "shards", len(e.shards))
 	writeJSON(w, http.StatusOK, AcquireResponse{
@@ -80,6 +84,22 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 		Shards:    len(e.shards),
 		TTLMillis: s.cfg.LeaseTTL.Milliseconds(),
 	})
+}
+
+// leaseFail classifies a lease id that did not resolve to a live lease.
+// An id minted by an earlier daemon incarnation answers 409 with the
+// HeaderStaleLease marker — the "stale epoch" signal: the daemon
+// restarted and did not resume this lease, so its holder must
+// re-acquire, not retry. Anything else — current-epoch ids the TTL
+// sweep reclaimed, ids never granted — stays the protocol's 410 Gone.
+// s.epoch is fixed at New, so no lock is needed.
+func (s *Server) leaseFail(w http.ResponseWriter, id string) (status int, msg string) {
+	if epoch := leaseEpoch(id); epoch > 0 && epoch < s.epoch {
+		w.Header().Set(HeaderStaleLease, "1")
+		return http.StatusConflict, fmt.Sprintf(
+			"collector: lease %s is from epoch %d; this daemon is epoch %d (restarted) — re-acquire", id, epoch, s.epoch)
+	}
+	return http.StatusGone, fmt.Sprintf("collector: lease %s is not live (expired or never granted)", id)
 }
 
 // handleRenew extends a live lease by the TTL. A lease the sweep has
@@ -97,11 +117,13 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	l, ok := s.leaseLocked(req.Lease, now)
 	if !ok {
-		writeError(w, http.StatusGone, fmt.Sprintf("collector: lease %s is not live (expired or never granted)", req.Lease))
+		status, msg := s.leaseFail(w, req.Lease)
+		writeError(w, status, msg)
 		return
 	}
 	l.expires = now.Add(s.cfg.LeaseTTL)
 	s.met.leaseRenewed.Inc()
+	s.persist(stateEvent{Type: "renew", Lease: l.id, ExpiresMS: l.expires.UnixMilli()})
 	s.log.Debug("lease renewed", "lease", l.id, "worker", l.worker)
 	writeJSON(w, http.StatusOK, RenewResponse{TTLMillis: s.cfg.LeaseTTL.Milliseconds()})
 }
@@ -121,7 +143,8 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	l, ok := s.leaseLocked(req.Lease, now)
 	if !ok {
-		writeError(w, http.StatusGone, fmt.Sprintf("collector: lease %s is not live (expired or never granted)", req.Lease))
+		status, msg := s.leaseFail(w, req.Lease)
+		writeError(w, status, msg)
 		return
 	}
 	state := shardFree
@@ -131,6 +154,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	l.exp.shards[l.shard] = shardState{state: state}
 	delete(l.exp.leases, l.id)
 	s.met.leaseReleased.Inc()
+	s.persist(stateEvent{Type: "release", Lease: l.id, Complete: req.Complete})
 	s.log.Info("lease released", "lease", l.id, "worker", l.worker,
 		"experiment", l.exp.name, "shard", l.shard, "complete", req.Complete)
 	w.WriteHeader(http.StatusNoContent)

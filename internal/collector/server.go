@@ -1,11 +1,13 @@
 package collector
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -35,6 +37,21 @@ type Config struct {
 	// RetryAfter is the wait hinted to a backpressured or shard-starved
 	// client. 0 defaults to 1s.
 	RetryAfter time.Duration
+	// Token, when set, locks every mutating endpoint (register, lease
+	// lifecycle, ingest) behind `Authorization: Bearer <Token>`. Read-only
+	// endpoints stay open — status views and metrics scrapes carry no
+	// write authority. Empty disables auth (the loopback default).
+	Token string
+	// CommitWindow bounds how long the group-commit engine gathers
+	// concurrent ingest batches before one fsync lands them all. 0
+	// defaults to 2ms; negative disables group commit entirely and every
+	// record is appended (and fsynced) individually — the pre-group-commit
+	// behavior, kept as the benchmark baseline.
+	CommitWindow time.Duration
+	// CommitMaxBytes closes a gather window early once this many wire
+	// bytes are queued, bounding commit latency and memory under burst.
+	// 0 defaults to 1 MiB.
+	CommitMaxBytes int64
 	// Baseline, when set, names a baseline store file (journal or
 	// archive): the gate status endpoint compares collected records
 	// against it.
@@ -71,6 +88,12 @@ func (c *Config) fill() error {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.CommitWindow == 0 {
+		c.CommitWindow = 2 * time.Millisecond
+	}
+	if c.CommitMaxBytes <= 0 {
+		c.CommitMaxBytes = 1 << 20
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -99,6 +122,9 @@ type Server struct {
 	met *serverMetrics
 	log *slog.Logger
 
+	state *stateLog // durable control state; replayed by New on restart
+	epoch int       // this daemon incarnation, embedded in lease ids
+
 	mu      sync.Mutex
 	workers map[string]struct{}
 	exps    map[string]*experiment
@@ -109,12 +135,14 @@ type Server struct {
 // experiment is one experiment's control state: its sharded store and
 // the shard pool leases are granted from.
 type experiment struct {
-	name     string
-	store    *shardstore.Store
-	shards   []shardState
-	leases   map[string]*lease
-	records  int64
-	inflight int64
+	name       string
+	store      *shardstore.Store
+	shards     []shardState
+	leases     map[string]*lease
+	committers []*committer   // lazily started per shard; nil until first ingest
+	submits    sync.WaitGroup // in-flight commit submissions, drained by Close
+	records    int64
+	inflight   int64
 }
 
 // shard pool states.
@@ -138,7 +166,12 @@ type lease struct {
 	expires time.Time
 }
 
-// New returns a Server for cfg.
+// New returns a Server for cfg. If the directory holds a control-state
+// journal from a previous daemon, its worker registrations and live
+// leases are resumed — a restarted daemon picks up its fleet where the
+// old one left it — and the new incarnation runs at the next epoch, so
+// leases the old daemon granted but did not persist as live answer with
+// a stale-epoch 409 instead of colliding with fresh grants.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -151,12 +184,37 @@ func New(cfg Config) (*Server, error) {
 		workers: make(map[string]struct{}),
 		exps:    make(map[string]*experiment),
 	}
+	state, events, err := openStateLog(filepath.Join(cfg.Dir, StateFile))
+	if err != nil {
+		return nil, err
+	}
+	s.state = state
+	lastEpoch, err := s.replayState(events)
+	if err != nil {
+		state.close()
+		return nil, err
+	}
+	s.epoch = lastEpoch + 1
+	if err := state.append(stateEvent{Type: "epoch", Epoch: s.epoch}); err != nil {
+		state.close()
+		return nil, err
+	}
+	s.met.workers.Set(int64(len(s.workers)))
+	s.met.epoch.Set(int64(s.epoch))
+	resumed := 0
+	for _, e := range s.exps {
+		resumed += len(e.leases)
+	}
+	if resumed > 0 || len(s.workers) > 0 {
+		s.log.Info("control state resumed", "epoch", s.epoch,
+			"workers", len(s.workers), "leases", resumed)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST "+PathRegister, s.handleRegister)
-	mux.HandleFunc("POST "+PathAcquire, s.handleAcquire)
-	mux.HandleFunc("POST "+PathRenew, s.handleRenew)
-	mux.HandleFunc("POST "+PathRelease, s.handleRelease)
-	mux.HandleFunc("POST "+PathIngest, s.handleIngest)
+	mux.HandleFunc("POST "+PathRegister, s.auth(s.handleRegister))
+	mux.HandleFunc("POST "+PathAcquire, s.auth(s.handleAcquire))
+	mux.HandleFunc("POST "+PathRenew, s.auth(s.handleRenew))
+	mux.HandleFunc("POST "+PathRelease, s.auth(s.handleRelease))
+	mux.HandleFunc("POST "+PathIngest, s.auth(s.handleIngest))
 	mux.HandleFunc("GET "+PathSnapshot, s.handleSnapshot)
 	mux.HandleFunc("GET "+PathStatus, s.handleStatus)
 	mux.HandleFunc("GET "+PathCells, s.handleCells)
@@ -166,23 +224,63 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// auth wraps a mutating handler behind the shared-token check. With no
+// Token configured it is the handler itself — zero cost on the default
+// loopback deployment.
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.Token == "" {
+		return h
+	}
+	want := []byte("Bearer " + s.cfg.Token)
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="collector"`)
+			writeError(w, http.StatusUnauthorized, "collector: missing or invalid bearer token")
+			return
+		}
+		h(w, r)
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close closes every experiment store. In-flight handlers racing Close
-// fail their appends loudly (the journals are closed), never silently.
+// Close drains every experiment's group-commit engine — batches already
+// acknowledged (or about to be) are durable before their store closes —
+// then closes the stores and the control-state journal. In-flight
+// handlers racing Close fail their appends loudly (the journals are
+// closed), never silently.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	var first error
+	exps := make([]*experiment, 0, len(s.exps))
 	for _, e := range s.exps {
+		exps = append(exps, e)
+	}
+	s.mu.Unlock()
+
+	var first error
+	for _, e := range exps {
+		// No new submissions start after closed is set; wait out those in
+		// flight, stop the committers, and only then close the journals.
+		e.submits.Wait()
+		for _, c := range e.committers {
+			if c != nil {
+				close(c.ch)
+				<-c.stopped
+			}
+		}
 		if err := e.store.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if err := s.state.close(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }
@@ -201,10 +299,11 @@ func (s *Server) experimentLocked(name string) (*experiment, error) {
 		return nil, err
 	}
 	e := &experiment{
-		name:   name,
-		store:  st,
-		shards: make([]shardState, s.cfg.Shards),
-		leases: make(map[string]*lease),
+		name:       name,
+		store:      st,
+		shards:     make([]shardState, s.cfg.Shards),
+		leases:     make(map[string]*lease),
+		committers: make([]*committer, s.cfg.Shards),
 	}
 	s.exps[name] = e
 	return e, nil
@@ -219,12 +318,24 @@ func (s *Server) sweepLocked(e *experiment, now time.Time) {
 			e.shards[l.shard] = shardState{state: shardFree}
 			delete(e.leases, id)
 			s.met.leaseExpired.Inc()
+			s.persist(stateEvent{Type: "expire", Lease: id})
 			// The handoff must be diagnosable from the daemon log alone:
 			// this is the only place a dead worker's shard changes hands.
 			s.log.Info("lease expired, shard returned to pool",
 				"lease", id, "worker", l.worker,
 				"experiment", e.name, "shard", l.shard)
 		}
+	}
+}
+
+// persist journals one control-state event. A write failure cannot fail
+// the control operation that caused it — the in-memory state is already
+// the truth for this incarnation — so it is logged and the daemon keeps
+// serving; what is lost is only fidelity of a later restart's resume.
+func (s *Server) persist(ev stateEvent) {
+	if err := s.state.append(ev); err != nil {
+		s.met.stateErrors.Inc()
+		s.log.Error("control-state journal append failed", "type", ev.Type, "err", err)
 	}
 }
 
@@ -253,9 +364,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if req.Worker == "" {
 		s.seq++
-		req.Worker = "worker-" + strconv.Itoa(s.seq)
+		req.Worker = "worker-" + strconv.Itoa(s.epoch) + "-" + strconv.Itoa(s.seq)
 	}
-	s.workers[req.Worker] = struct{}{}
+	if _, known := s.workers[req.Worker]; !known {
+		s.workers[req.Worker] = struct{}{}
+		s.persist(stateEvent{Type: "worker", Worker: req.Worker})
+	}
 	s.met.workers.Set(int64(len(s.workers)))
 	s.mu.Unlock()
 	s.log.Debug("worker registered", "worker", req.Worker)
@@ -274,13 +388,13 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
-// retryAfterHeader sets the Retry-After hint in whole seconds (minimum
-// 1 — zero would tell clients to hammer).
+// retryAfterHeader sets the Retry-After hint, rounded to whole seconds.
+// A sub-500ms configured wait rounds to "0": the header grammar has no
+// finer unit, and the client floors its own retry delay (it never
+// hammers), so a daemon tuned for fast turnaround — soak tests, loopback
+// fleets — should be allowed to say "soon" instead of a mandatory 1s.
 func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
-	secs := int(d / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
+	secs := int((d + 500*time.Millisecond) / time.Second)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 

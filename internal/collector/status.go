@@ -16,7 +16,7 @@ import (
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	now := s.cfg.Clock()
 	s.mu.Lock()
-	resp := StatusResponse{Workers: s.sortedWorkersLocked()}
+	resp := StatusResponse{Epoch: s.epoch, Workers: s.sortedWorkersLocked()}
 	names := make([]string, 0, len(s.exps))
 	for name := range s.exps {
 		names = append(names, name)

@@ -36,6 +36,13 @@ const (
 	PathMetrics = "/v1/metrics"
 )
 
+// HeaderStaleLease marks a 409 response caused by a lease id from an
+// earlier daemon epoch (the daemon restarted and did not resume the
+// lease). It lets a client tell "your lease is permanently gone —
+// re-acquire" apart from the other 409, a record-routing conflict that
+// is a worker-side sharding bug.
+const HeaderStaleLease = "X-Collector-Stale-Lease"
+
 // RegisterRequest announces a worker to the collector. An empty Worker
 // asks the server to assign a name.
 type RegisterRequest struct {
@@ -93,8 +100,12 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// StatusResponse is the collector's live control-plane view.
+// StatusResponse is the collector's live control-plane view. Epoch is
+// the daemon's incarnation number: it increments on every restart, and
+// lease ids carry the epoch that granted them, so a fleet can tell "the
+// daemon I knew" from "its successor" without any other signal.
 type StatusResponse struct {
+	Epoch       int                `json:"epoch"`
 	Workers     []string           `json:"workers"`
 	Experiments []ExperimentStatus `json:"experiments"`
 }

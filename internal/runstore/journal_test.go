@@ -249,3 +249,101 @@ func TestJournalLastRecordWins(t *testing.T) {
 	}
 	j.Close()
 }
+
+// TestJournalAppendBatch pins the group-commit primitive: a batch lands
+// byte-identical to the same records appended one at a time, survives
+// reopen, and a rejected batch writes nothing.
+func TestJournalAppendBatch(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{
+		rec("e", 0, 0, map[string]string{"c": "a"}, map[string]float64{"t": 1}),
+		rec("e", 1, 0, map[string]string{"c": "b"}, map[string]float64{"t": 2}),
+		rec("e", 0, 1, map[string]string{"c": "a"}, map[string]float64{"t": 3}),
+	}
+
+	one := filepath.Join(dir, "one.jsonl")
+	j1, err := Open(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j1.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j1.Close()
+
+	batch := filepath.Join(dir, "batch.jsonl")
+	j2, err := Open(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := j2.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", j2.Len())
+	}
+	j2.Close()
+
+	a, err := os.ReadFile(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("AppendBatch bytes differ from per-record Append:\nbatch:\n%s\nappend:\n%s", b, a)
+	}
+
+	// Durability: reopen serves the batch.
+	r, err := Open(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, want := range recs {
+		if _, ok := r.Lookup(want.Experiment, want.Hash, want.Replicate); !ok {
+			t.Errorf("reopen lost %s", want.Key())
+		}
+	}
+
+	// A batch with any invalid record writes nothing at all.
+	bad := []Record{
+		rec("e", 5, 0, map[string]string{"c": "z"}, map[string]float64{"t": 9}),
+		{Experiment: "", Replicate: 0},
+	}
+	before := r.Len()
+	if err := r.AppendBatch(bad); err == nil {
+		t.Fatal("batch with an invalid record succeeded")
+	}
+	if r.Len() != before {
+		t.Fatalf("rejected batch changed Len: %d -> %d", before, r.Len())
+	}
+	data, err := os.ReadFile(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(b) {
+		t.Error("rejected batch left bytes behind")
+	}
+}
+
+// TestJournalAppendBatchClosed pins the closed-journal contract for the
+// batch path.
+func TestJournalAppendBatchClosed(t *testing.T) {
+	j, err := Open(filepath.Join(t.TempDir(), "j.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	err = j.AppendBatch([]Record{rec("e", 0, 0, map[string]string{"c": "a"}, map[string]float64{"t": 1})})
+	if err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("AppendBatch after Close = %v, want a closed-journal error", err)
+	}
+}

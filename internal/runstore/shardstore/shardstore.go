@@ -150,6 +150,37 @@ func (s *Store) Append(rec runstore.Record) error {
 	return j.Append(rec)
 }
 
+// AppendBatch appends a batch of records, grouped by destination shard,
+// with one fsync per shard journal touched (runstore.Journal.AppendBatch)
+// instead of one per record — the group-commit append path. Like Append,
+// a record routed to an unowned shard fails the whole batch before any
+// byte of it is written; records for owned shards earlier in the batch
+// may already be durable (the same clean-prefix rule a failed streamed
+// ingest leaves behind).
+func (s *Store) AppendBatch(recs []runstore.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	groups := make(map[int][]runstore.Record)
+	for _, rec := range recs {
+		if rec.Hash == "" {
+			rec.Hash = runstore.AssignmentHash(rec.Assignment)
+		}
+		idx := runstore.ShardIndex(rec.Hash, s.shards)
+		if s.files[idx] == nil {
+			return fmt.Errorf("shardstore: record %s routes to shard %d, but this store owns only shard %d of %d",
+				rec.Key(), idx, s.owned, s.shards)
+		}
+		groups[idx] = append(groups[idx], rec)
+	}
+	for idx, group := range groups {
+		if err := s.files[idx].AppendBatch(group); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Len returns the number of distinct units across owned shards.
 func (s *Store) Len() int {
 	n := 0

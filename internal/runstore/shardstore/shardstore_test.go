@@ -235,3 +235,65 @@ func TestOpenErrors(t *testing.T) {
 		t.Error("negative shard index should error")
 	}
 }
+
+// TestAppendBatchRouting pins the sharded group-commit path: a batch
+// fans out by shard with the same routing as Append, and a record routed
+// to an unowned shard fails the whole batch before any of it is written.
+func TestAppendBatchRouting(t *testing.T) {
+	dir := t.TempDir()
+	const shards = 3
+	s, err := Open(dir, "e", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []runstore.Record
+	for row := 0; row < 9; row++ {
+		batch = append(batch, runstore.Record{
+			Experiment: "e", Row: row, Replicate: 0,
+			Assignment: map[string]string{"cell": fmt.Sprintf("c%d", row)},
+			Responses:  map[string]float64{"t": float64(row)},
+		})
+	}
+	if err := s.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != len(batch) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(batch))
+	}
+	for _, w := range batch {
+		h := runstore.AssignmentHash(w.Assignment)
+		if _, ok := s.Lookup("e", h, 0); !ok {
+			t.Errorf("Lookup missed %s after AppendBatch", h)
+		}
+	}
+	s.Close()
+
+	// A single-shard store rejects a batch holding any foreign record,
+	// before writing it.
+	w0, err := OpenShard(dir, "e2", 0, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Close()
+	var own []runstore.Record
+	for _, r := range batch {
+		r.Experiment = "e2"
+		r.Hash = ""
+		if runstore.ShardIndex(runstore.AssignmentHash(r.Assignment), shards) == 0 {
+			own = append(own, r)
+		}
+	}
+	foreign := batch[0]
+	foreign.Experiment = "e2"
+	foreign.Hash = ""
+	for runstore.ShardIndex(runstore.AssignmentHash(foreign.Assignment), shards) == 0 {
+		foreign.Row++
+		foreign.Assignment = map[string]string{"cell": fmt.Sprintf("x%d", foreign.Row)}
+	}
+	if err := w0.AppendBatch(append(append([]runstore.Record{}, own...), foreign)); err == nil {
+		t.Fatal("batch with an unowned record succeeded")
+	}
+	if w0.Len() != 0 {
+		t.Fatalf("rejected batch left %d record(s) behind", w0.Len())
+	}
+}

@@ -377,6 +377,58 @@ func Run(t *testing.T, b Backend) {
 		}
 	})
 
+	t.Run("ConcurrentAppendDuringScan", func(t *testing.T) {
+		// Scan's snapshot-at-start contract under real concurrency: while
+		// one goroutine iterates, others keep appending from separate
+		// goroutines (not merely from inside the scan loop, which
+		// ScanDuringAppend covers single-threaded). -race is the sharpest
+		// assertion; beyond it, every record present when the scan began
+		// must be yielded intact and every concurrent append must land.
+		s := b.Open(t, t.TempDir())
+		defer s.Close()
+		const preload, appenders, extra = 10, 3, 6
+		for row := 0; row < preload; row++ {
+			if err := s.Append(mkRecord("e", row, 0, float64(row))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for a := 0; a < appenders; a++ {
+			wg.Add(1)
+			go func(a int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < extra; i++ {
+					if err := s.Append(mkRecord("e", preload+a*extra+i, 0, float64(i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(a)
+		}
+		seen := 0
+		for rec, err := range s.Scan() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Experiment != "e" {
+				t.Fatalf("scan yielded foreign record %+v", rec)
+			}
+			if seen == 0 {
+				close(start) // appenders race the rest of the iteration
+			}
+			seen++
+		}
+		wg.Wait()
+		if seen < preload {
+			t.Fatalf("scan yielded %d records, want at least the %d present at start", seen, preload)
+		}
+		if got := len(records(t, s)); got != preload+appenders*extra {
+			t.Fatalf("store holds %d records after concurrent appends, want %d", got, preload+appenders*extra)
+		}
+	})
+
 	t.Run("ScanErrorPropagation", func(t *testing.T) {
 		// The error slot of the sequence is part of the contract: a
 		// healthy store yields none, and Collect surfaces the first one.

@@ -40,6 +40,18 @@ type ServeConfig struct {
 	// Baseline optionally names a baseline store file; it arms the
 	// GET /v1/status/gate endpoint with regression verdicts.
 	Baseline string
+	// Token, when non-empty, requires `Authorization: Bearer <Token>` on
+	// every mutating endpoint (register, lease traffic, ingest,
+	// snapshot); read-only status and metrics stay open. Workers supply
+	// the same value through WorkConfig.Token. It is the
+	// -Dcollector.token knob.
+	Token string
+	// CommitWindow bounds how long the group-commit engine gathers
+	// concurrent ingest batches before landing them with one fsync.
+	// 0 means the 2ms default; negative disables group commit and
+	// fsyncs every batch individually. It is the -Dcollector.commitwindow
+	// knob.
+	CommitWindow time.Duration
 	// Ready, when non-nil, is called exactly once with the bound listen
 	// address, after the listener is open and before serving begins.
 	Ready func(addr string)
@@ -83,12 +95,14 @@ func Serve(ctx context.Context, cfg ServeConfig) error {
 		return err
 	}
 	srv, err := collector.New(collector.Config{
-		Dir:         cfg.Dir,
-		Shards:      cfg.Shards,
-		LeaseTTL:    cfg.LeaseTTL,
-		MaxInflight: cfg.MaxInflight,
-		Baseline:    cfg.Baseline,
-		Logger:      logger,
+		Dir:          cfg.Dir,
+		Shards:       cfg.Shards,
+		LeaseTTL:     cfg.LeaseTTL,
+		MaxInflight:  cfg.MaxInflight,
+		Baseline:     cfg.Baseline,
+		Token:        cfg.Token,
+		CommitWindow: cfg.CommitWindow,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
@@ -148,6 +162,10 @@ type WorkConfig struct {
 	// the flag is safe against any collector — a JSON-only server simply
 	// answers in JSON. It is the -Dworker.binary knob.
 	BinaryWire bool
+	// Token is the collector's shared bearer token, sent on every
+	// request; required when the daemon was started with
+	// ServeConfig.Token. It is the -Dworker.token knob.
+	Token string
 	// LogLevel selects the worker's structured stderr log: "debug",
 	// "info" (also the "" default), or "quiet" to discard. It is the
 	// -Dcollector.log knob of `perfeval work`.
@@ -210,6 +228,7 @@ func Work(ctx context.Context, id string, cfg WorkConfig) (*WorkOutcome, error) 
 		SpoolDir:   cfg.SpoolDir,
 		FlushEvery: cfg.FlushEvery,
 		BinaryWire: cfg.BinaryWire,
+		Token:      cfg.Token,
 		Logger:     logger,
 	})
 	if err != nil {

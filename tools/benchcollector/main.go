@@ -42,7 +42,8 @@ const benchExperiment = "bench ingest"
 // result is one fleet configuration's measurement.
 type result struct {
 	Workers          int     `json:"workers"`
-	Wire             string  `json:"wire"` // ingest framing: "json" or "binary"
+	Wire             string  `json:"wire"`   // ingest framing: "json" or "binary"
+	Commit           string  `json:"commit"` // durability mode: "group" or "per-record"
 	Records          int     `json:"records"`
 	Batch            int     `json:"batch"`
 	IngestSeconds    float64 `json:"ingest_seconds"`
@@ -82,13 +83,15 @@ func main() {
 	}
 	for _, fleet := range []int{1, 4, 16} {
 		for _, wire := range []string{"json", "binary"} {
-			r, err := run(fleet, *total, *batch, wire)
-			if err != nil {
-				log.Fatalf("benchcollector: %d worker(s), %s wire: %v", fleet, wire, err)
+			for _, commit := range []string{"group", "per-record"} {
+				r, err := run(fleet, *total, *batch, wire, commit)
+				if err != nil {
+					log.Fatalf("benchcollector: %d worker(s), %s wire, %s commit: %v", fleet, wire, commit, err)
+				}
+				fmt.Printf("%2d worker(s), %-6s wire, %-10s commit: %d records ingested in %.3fs (%.0f records/s), merged in %.3fs\n",
+					fleet, wire, commit, r.Records, r.IngestSeconds, r.RecordsPerSecond, r.MergeSeconds)
+				snap.Runs = append(snap.Runs, r)
 			}
-			fmt.Printf("%2d worker(s), %-6s wire: %d records ingested in %.3fs (%.0f records/s), merged in %.3fs\n",
-				fleet, wire, r.Records, r.IngestSeconds, r.RecordsPerSecond, r.MergeSeconds)
-			snap.Runs = append(snap.Runs, r)
 		}
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -104,8 +107,11 @@ func main() {
 // run measures one fleet configuration: `fleet` concurrent workers,
 // each holding one shard lease of a `fleet`-shard experiment, streaming
 // its pre-bucketed share of `total` records in `batch`-record ingests
-// over the given wire framing ("json" or "binary").
-func run(fleet, total, batch int, wire string) (result, error) {
+// over the given wire framing ("json" or "binary"). The commit mode
+// selects the durability path: "group" is the group-commit engine (one
+// fsync per gather window), "per-record" is the pre-group-commit
+// baseline that appends and fsyncs every record individually.
+func run(fleet, total, batch int, wire, commit string) (result, error) {
 	dir, err := os.MkdirTemp("", "benchcollector-")
 	if err != nil {
 		return result{}, err
@@ -115,7 +121,11 @@ func run(fleet, total, batch int, wire string) (result, error) {
 	// Each configuration gets its own registry so the embedded snapshot
 	// is this run's accounting alone, not the process-lifetime total.
 	reg := obs.NewRegistry()
-	srv, err := collector.New(collector.Config{Dir: dir, Shards: fleet, Metrics: reg})
+	window := time.Duration(0) // 0 resolves to the production default
+	if commit == "per-record" {
+		window = -1 // negative disables group commit: append+fsync per record
+	}
+	srv, err := collector.New(collector.Config{Dir: dir, Shards: fleet, Metrics: reg, CommitWindow: window})
 	if err != nil {
 		return result{}, err
 	}
@@ -178,6 +188,7 @@ func run(fleet, total, batch int, wire string) (result, error) {
 	return result{
 		Workers:          fleet,
 		Wire:             wire,
+		Commit:           commit,
 		Records:          total,
 		Batch:            batch,
 		IngestSeconds:    ingest.Seconds(),

@@ -39,6 +39,7 @@ var checkedPackages = []string{
 	"internal/harness",
 	"internal/collector",
 	"internal/collector/client",
+	"internal/collector/soaktest",
 	"internal/obs",
 }
 
