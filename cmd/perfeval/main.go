@@ -75,7 +75,7 @@
 // restartable: worker registrations and lease grants are journaled in
 // -Dcollector.dir, a restarted daemon resumes them, and workers ride
 // out the restart on transport retries. -Dcollector.token arms shared
-// bearer-token auth on every mutating endpoint (workers pass the same
+// bearer-token auth on every data-plane endpoint (workers pass the same
 // value as -Dworker.token), and -Dcollector.commitwindow tunes the
 // group-commit engine that coalesces concurrent ingest batches into
 // one fsync. The wire protocol is documented in docs/COLLECTOR.md.

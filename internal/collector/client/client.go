@@ -161,8 +161,10 @@ func (c *Client) Snapshot(ctx context.Context, lease string) (map[string]runstor
 }
 
 // Ingest streams one batch of records under the lease. Backpressure
-// (429) is retried after the server's hint until ctx ends; 410 maps to
-// ErrLeaseLost and 409 to ErrConflict, both of which mean: stop.
+// (429) is retried after the server's hint until ctx ends; a storage
+// failure or shutdown (503) is retried the same way but a bounded
+// number of times; 410 maps to ErrLeaseLost and 409 to ErrConflict,
+// both of which mean: stop.
 func (c *Client) Ingest(ctx context.Context, lease string, recs []runstore.Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -196,6 +198,7 @@ func (c *Client) Ingest(ctx context.Context, lease string, recs []runstore.Recor
 	}
 	req.Header.Set("Idempotency-Key",
 		fmt.Sprintf("%s-%08x-%d", lease, crc32.ChecksumIEEE(payload), len(recs)))
+	unavailable := 0
 	for {
 		httpResp, err := c.doRetry(ctx, ingestRetries, func() (*http.Request, error) {
 			attempt := req.Clone(ctx)
@@ -224,6 +227,27 @@ func (c *Client) Ingest(ctx context.Context, lease string, recs []runstore.Recor
 			select {
 			case <-time.After(wait):
 				continue // the batch is re-sent whole; the store is last-wins
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		case http.StatusServiceUnavailable:
+			// The server could not store the batch — shutting down, or the
+			// append/fsync failed under it. The batch is idempotent, so
+			// retry after the hint; bounded, unlike the 429 loop, because a
+			// daemon that stays broken (disk full) must surface, not spin.
+			unavailable++
+			wait := retryAfter(httpResp)
+			msg := serverError(httpResp)
+			drain(httpResp)
+			if unavailable > ingestRetries {
+				return fmt.Errorf("collector client: ingest: %s", msg)
+			}
+			c.met.retries.Inc()
+			c.log.Debug("ingest unavailable, retrying",
+				"lease", lease, "attempt", unavailable, "wait", wait)
+			select {
+			case <-time.After(wait):
+				continue
 			case <-ctx.Done():
 				return ctx.Err()
 			}

@@ -83,6 +83,59 @@ func TestIngestReplaysOnKilledKeepAlive(t *testing.T) {
 	}
 }
 
+// TestIngest503RetriedThenRecovers: a 503 — the server could not store
+// the batch (shutdown, disk hiccup) — is retried after the Retry-After
+// hint instead of killing the run like a terminal 400; once the server
+// recovers, the same idempotent batch lands. A server that never
+// recovers must still surface the failure after a bounded number of
+// attempts rather than spin forever.
+func TestIngest503RetriedThenRecovers(t *testing.T) {
+	rec := runstore.Record{Experiment: "e", Row: 0, Replicate: 0,
+		Assignment: map[string]string{"f": "a"}, Responses: map[string]float64{"ms": 1}}
+	serve := func(failures int) (*httptest.Server, func() int) {
+		var mu sync.Mutex
+		attempts := 0
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			mu.Lock()
+			attempts++
+			n := attempts
+			mu.Unlock()
+			if failures < 0 || n <= failures {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				io.WriteString(w, `{"error":"collector: storing batch: disk full"}`)
+				return
+			}
+			io.WriteString(w, `{"appended":1}`)
+		}))
+		return srv, func() int {
+			mu.Lock()
+			defer mu.Unlock()
+			return attempts
+		}
+	}
+
+	srv, attempts := serve(2)
+	defer srv.Close()
+	if err := New(srv.URL, nil).Ingest(context.Background(), "L", []runstore.Record{rec}); err != nil {
+		t.Fatalf("ingest through two 503s: %v", err)
+	}
+	if n := attempts(); n != 3 {
+		t.Errorf("server saw %d attempt(s), want 3 (two 503s, then success)", n)
+	}
+
+	dead, deadAttempts := serve(-1) // 503 forever
+	defer dead.Close()
+	err := New(dead.URL, nil).Ingest(context.Background(), "L", []runstore.Record{rec})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("permanent 503: err = %v, want the server's storage error", err)
+	}
+	if n := deadAttempts(); n != ingestRetries+1 {
+		t.Errorf("permanent 503: server saw %d attempt(s), want %d", n, ingestRetries+1)
+	}
+}
+
 // renewStep scripts one renew attempt: the fake-clock time at which it
 // happens and the result it returns.
 type renewStep struct {

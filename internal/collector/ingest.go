@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"mime"
@@ -18,6 +19,10 @@ import (
 //	      routed to another shard): a worker-side sharding bug that must
 //	      fail loudly before it overlaps another worker's data
 //	400 — a malformed or truncated stream
+//	503 + Retry-After — the server could not store the batch: either it
+//	      is shutting down, or the append/fsync itself failed (disk full,
+//	      store closed). The batch is well-formed and the store is
+//	      last-wins, so the client retries idempotently
 //
 // Records are validated and appended one at a time, in stream order, so
 // a failed batch leaves a clean prefix durably stored; delivery is
@@ -32,6 +37,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("lease")
 	now := s.cfg.Clock()
 	s.mu.Lock()
+	// The closed check must precede any committer or submitter-group
+	// touch: Close flips closed under this lock and then waits the
+	// submitter group out, so an ingest that got the lock after Close
+	// must not Add to the group (Add-after-Wait misuse), send on a
+	// commit channel Close is about to close, or lazily start a new
+	// committer Close will never drain. It answers 503 — retryable —
+	// because the worker's next attempt lands on the restarted daemon.
+	if s.closed {
+		s.mu.Unlock()
+		retryAfterHeader(w, s.cfg.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable, "collector: server is shutting down")
+		return
+	}
 	l, ok := s.leaseLocked(id, now)
 	if !ok {
 		status, msg := s.leaseFail(w, id)
@@ -118,7 +136,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			batch = append(batch, rec)
 			return nil
 		}
-		return store.Append(rec)
+		if aerr := store.Append(rec); aerr != nil {
+			return &storeFailure{aerr}
+		}
+		return nil
 	})
 	if groupCommit {
 		// Commit the decoded records even when the stream failed partway:
@@ -126,7 +147,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// failed batch leaves a clean prefix for the retry to converge on.
 		if cerr := e.commit(shard, batch, body.n); cerr != nil {
 			if err == nil {
-				err = cerr
+				err = &storeFailure{cerr}
 			}
 			n = 0
 		} else {
@@ -140,11 +161,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.met.ingestBytes.Add(body.n)
 	release()
 	if err != nil {
-		if c, ok := err.(*ingestConflict); ok {
-			writeError(w, http.StatusConflict, c.msg)
-			return
+		var conflict *ingestConflict
+		var failed *storeFailure
+		switch {
+		case errors.As(err, &conflict):
+			writeError(w, http.StatusConflict, conflict.msg)
+		case errors.As(err, &failed):
+			// A server-side storage failure, not a bad request: 400 would
+			// read as terminal and kill the worker's run over what may be a
+			// transient disk or shutdown hiccup. 503 tells the client to
+			// retry the (idempotent) batch.
+			retryAfterHeader(w, s.cfg.RetryAfter)
+			writeError(w, http.StatusServiceUnavailable, failed.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Appended: n})
@@ -183,6 +214,18 @@ type ingestConflict struct{ msg string }
 
 func (c *ingestConflict) Error() string { return c.msg }
 
+// storeFailure marks an append or group-commit that failed server-side —
+// the batch was well-formed but could not be made durable — and so maps
+// to a retryable 503 rather than the terminal 400 a malformed stream
+// earns.
+type storeFailure struct{ err error }
+
+func (f *storeFailure) Error() string {
+	return fmt.Sprintf("collector: storing batch: %v", f.err)
+}
+
+func (f *storeFailure) Unwrap() error { return f.err }
+
 // handleSnapshot streams the lease's shard as it stands — every record
 // earlier owners collected — in the wire framing. It is the warm-start
 // feed: the new owner indexes these records and replays them through
@@ -198,6 +241,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("lease")
 	now := s.cfg.Clock()
 	s.mu.Lock()
+	// Same pairing with Close as handleIngest: once closed is set the
+	// stores are about to close under us, so refuse retryably instead of
+	// streaming from a journal mid-teardown.
+	if s.closed {
+		s.mu.Unlock()
+		retryAfterHeader(w, s.cfg.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable, "collector: server is shutting down")
+		return
+	}
 	l, ok := s.leaseLocked(id, now)
 	if !ok {
 		status, msg := s.leaseFail(w, id)

@@ -131,6 +131,9 @@ func TestRestartResumesLeases(t *testing.T) {
 	if got := st.Experiments[0].Leases[0].Lease; got != grant.Lease {
 		t.Fatalf("resumed lease id %q, want %q", got, grant.Lease)
 	}
+	if got := st.Experiments[0].Records; got != 1 {
+		t.Errorf("records after restart = %d, want 1 (resumed from the reopened store)", got)
+	}
 
 	// The pre-restart worker carries on: renew, ingest, release — all on
 	// the old lease id.
@@ -229,9 +232,65 @@ func TestStaleEpochLease409(t *testing.T) {
 	}
 }
 
-// TestSharedTokenAuth: with Config.Token set, every mutating endpoint
-// refuses requests without the bearer token (401), the read-only status
-// and metrics surfaces stay open, and a tokened client works end to end.
+// TestClosedServerRefusesRetryably: an ingest or snapshot that reaches
+// a closed daemon must bounce with a retryable 503 before touching the
+// drained committers or closing stores — the request a worker retries
+// across exactly the daemon-restart window the durable control state
+// exists for. Anything else (a terminal 400, a panic on the committer
+// channel) kills the worker's run instead of bridging the restart.
+func TestClosedServerRefusesRetryably(t *testing.T) {
+	r := startRestartable(t, nil)
+	ctx := context.Background()
+	const exp = "close exp"
+
+	c := r.client()
+	grant, err := c.Acquire(ctx, "w1", exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One landed batch first, so the shard's committer exists when Close
+	// drains it.
+	rec := recordForShard(t, exp, grant.Shard, grant.Shards, 0)
+	if err := c.Ingest(ctx, grant.Lease, []runstore.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close the daemon but leave the HTTP front end up: requests still
+	// reach the handlers, as they do in the real teardown race.
+	if err := r.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []struct {
+		name string
+		do   func() (*http.Response, error)
+	}{
+		{"ingest", func() (*http.Response, error) {
+			return http.Post(r.hs.URL+collector.PathIngest+"?lease="+grant.Lease, "application/x-ndjson", nil)
+		}},
+		{"snapshot", func() (*http.Response, error) {
+			return http.Get(r.hs.URL + collector.PathSnapshot + "?lease=" + grant.Lease)
+		}},
+	} {
+		resp, err := probe.do()
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		retryHint := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s on closed server = %d, want 503", probe.name, resp.StatusCode)
+		}
+		if retryHint == "" {
+			t.Errorf("%s 503 carries no Retry-After hint", probe.name)
+		}
+	}
+}
+
+// TestSharedTokenAuth: with Config.Token set, every data-plane endpoint
+// — the mutating POSTs and the record-streaming snapshot read — refuses
+// requests without the bearer token (401), the read-only status and
+// metrics surfaces stay open, and a tokened client works end to end.
 func TestSharedTokenAuth(t *testing.T) {
 	hs, _ := startServer(t, func(c *collector.Config) { c.Token = "s3cret" })
 	ctx := context.Background()
@@ -283,6 +342,21 @@ func TestSharedTokenAuth(t *testing.T) {
 	if err := authed.Ingest(ctx, grant.Lease, []runstore.Record{rec}); err != nil {
 		t.Fatal(err)
 	}
+
+	// Snapshot is a data-plane read — it streams the shard's collected
+	// record contents — so a live lease id alone (deterministic form,
+	// printed in logs) must not unlock it: no token, no records.
+	if _, err := bare.Snapshot(ctx, grant.Lease); err == nil || !strings.Contains(err.Error(), "bearer token") {
+		t.Fatalf("unauthenticated snapshot of a live lease = %v, want a bearer-token refusal", err)
+	}
+	warm, err := authed.Snapshot(ctx, grant.Lease)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != 1 {
+		t.Fatalf("tokened snapshot holds %d record(s), want 1", len(warm))
+	}
+
 	if err := authed.Release(ctx, grant.Lease, true); err != nil {
 		t.Fatal(err)
 	}

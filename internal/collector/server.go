@@ -37,10 +37,12 @@ type Config struct {
 	// RetryAfter is the wait hinted to a backpressured or shard-starved
 	// client. 0 defaults to 1s.
 	RetryAfter time.Duration
-	// Token, when set, locks every mutating endpoint (register, lease
-	// lifecycle, ingest) behind `Authorization: Bearer <Token>`. Read-only
-	// endpoints stay open — status views and metrics scrapes carry no
-	// write authority. Empty disables auth (the loopback default).
+	// Token, when set, locks every data-plane endpoint (register, lease
+	// lifecycle, ingest, and the snapshot read — it streams collected
+	// record contents) behind `Authorization: Bearer <Token>`. The
+	// control-plane read-only surfaces stay open — status views and
+	// metrics scrapes carry no write authority and expose no record
+	// data. Empty disables auth (the loopback default).
 	Token string
 	// CommitWindow bounds how long the group-commit engine gathers
 	// concurrent ingest batches before one fsync lands them all. 0
@@ -215,7 +217,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST "+PathRenew, s.auth(s.handleRenew))
 	mux.HandleFunc("POST "+PathRelease, s.auth(s.handleRelease))
 	mux.HandleFunc("POST "+PathIngest, s.auth(s.handleIngest))
-	mux.HandleFunc("GET "+PathSnapshot, s.handleSnapshot)
+	// Snapshot is a data-plane read — it streams the shard's record
+	// contents — so it sits behind the same token as ingest; the lease id
+	// alone is no secret (deterministic form, printed in logs).
+	mux.HandleFunc("GET "+PathSnapshot, s.auth(s.handleSnapshot))
 	mux.HandleFunc("GET "+PathStatus, s.handleStatus)
 	mux.HandleFunc("GET "+PathCells, s.handleCells)
 	mux.HandleFunc("GET "+PathGate, s.handleGate)
@@ -266,10 +271,19 @@ func (s *Server) Close() error {
 
 	var first error
 	for _, e := range exps {
-		// No new submissions start after closed is set; wait out those in
-		// flight, stop the committers, and only then close the journals.
+		// No new submissions start after closed is set — handlers check
+		// closed under s.mu before entering the submitter group — so wait
+		// out those in flight, stop the committers, and only then close
+		// the journals. The committer slice is re-read under s.mu: its
+		// entries are lazily written by ingest handlers holding the lock,
+		// and the closed check alone does not order those writes with
+		// this read.
 		e.submits.Wait()
-		for _, c := range e.committers {
+		s.mu.Lock()
+		committers := make([]*committer, len(e.committers))
+		copy(committers, e.committers)
+		s.mu.Unlock()
+		for _, c := range committers {
 			if c != nil {
 				close(c.ch)
 				<-c.stopped
@@ -304,6 +318,10 @@ func (s *Server) experimentLocked(name string) (*experiment, error) {
 		shards:     make([]shardState, s.cfg.Shards),
 		leases:     make(map[string]*lease),
 		committers: make([]*committer, s.cfg.Shards),
+		// Seed the counter from the reopened store: after a restart the
+		// status view must not under-report records already durably
+		// collected. A genuinely new experiment opens empty, so this is 0.
+		records: int64(st.Len()),
 	}
 	s.exps[name] = e
 	return e, nil

@@ -58,16 +58,21 @@ type soakProfile struct {
 	downFor      time.Duration // how long each kill stays dark
 }
 
+// Each dark window must outlast the fleet's longest between-dial sleep
+// (the ~120ms jittered ceiling of a 429 backpressure wait): during a
+// storm every worker can be parked in one of those sleeps at once, and
+// a shorter window can then open and close with no dial landing in it —
+// leaving the "fleet retried a transport error" assertion flaky.
 func profile() soakProfile {
 	if os.Getenv(soakFullEnv) != "" && !testing.Short() {
 		return soakProfile{
 			reps: 8, kills: 2, fleet: 4, restarts: 5, ttl: 2 * time.Second,
-			unitDelay: 120 * time.Millisecond, restartEvery: 800 * time.Millisecond, downFor: 120 * time.Millisecond,
+			unitDelay: 120 * time.Millisecond, restartEvery: 800 * time.Millisecond, downFor: 250 * time.Millisecond,
 		}
 	}
 	return soakProfile{
 		reps: 3, kills: 1, fleet: 3, restarts: 2, ttl: time.Second,
-		unitDelay: 60 * time.Millisecond, restartEvery: 400 * time.Millisecond, downFor: 120 * time.Millisecond,
+		unitDelay: 60 * time.Millisecond, restartEvery: 400 * time.Millisecond, downFor: 250 * time.Millisecond,
 	}
 }
 

@@ -88,6 +88,13 @@ func openStateLog(path string) (*stateLog, []stateEvent, error) {
 		events = append(events, ev)
 		keep = end
 	}
+	if err := sc.Err(); err != nil {
+		// A scanner failure (e.g. a line past the buffer cap) stops the
+		// loop exactly like a torn tail would; without this check every
+		// event after it would be silently dropped — and a dropped lease
+		// grant hands one shard to two workers.
+		return nil, nil, fmt.Errorf("collector: state: %s: corrupt journal at byte %d: %w", path, keep, err)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("collector: state: %w", err)

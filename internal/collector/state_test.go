@@ -124,6 +124,28 @@ func TestStateLogCorruptMiddleLineRejected(t *testing.T) {
 	}
 }
 
+func TestStateLogScannerFailureRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, StateFile)
+	// A line past the scanner's 1 MiB buffer cap stops the scan loop the
+	// same way a torn tail would — but valid events follow it, so
+	// treating it as a tail would silently drop them (and a dropped
+	// lease grant hands one shard to two workers). It must be an error.
+	huge := `{"type":"worker","worker":"` + strings.Repeat("x", (1<<20)+1024) + `"}`
+	body := `{"type":"epoch","epoch":1}` + "\n" + huge + "\n" +
+		`{"type":"worker","worker":"w1"}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := openStateLog(path)
+	if err == nil {
+		t.Fatal("scanner failure mid-file accepted; events after it would be silently dropped")
+	}
+	if !strings.Contains(err.Error(), "corrupt journal") {
+		t.Fatalf("error %q does not name the corrupt journal", err)
+	}
+}
+
 func TestRetryAfterHeaderRounds(t *testing.T) {
 	cases := []struct {
 		d    time.Duration

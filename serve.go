@@ -41,7 +41,7 @@ type ServeConfig struct {
 	// GET /v1/status/gate endpoint with regression verdicts.
 	Baseline string
 	// Token, when non-empty, requires `Authorization: Bearer <Token>` on
-	// every mutating endpoint (register, lease traffic, ingest,
+	// every data-plane endpoint (register, lease traffic, ingest,
 	// snapshot); read-only status and metrics stay open. Workers supply
 	// the same value through WorkConfig.Token. It is the
 	// -Dcollector.token knob.
