@@ -60,6 +60,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzJournalParse -fuzztime=$(FUZZTIME) -run=^$$ ./internal/runstore
 	$(GO) test -fuzz=FuzzBinaryDecode -fuzztime=$(FUZZTIME) -run=^$$ ./internal/runstore
+	$(GO) test -fuzz=FuzzWarehouseIndex -fuzztime=$(FUZZTIME) -run=^$$ ./internal/warehouse
 
 # Collector perf snapshot: ingest throughput at increasing worker
 # concurrency plus merge-after-collect wall time, recorded in
@@ -76,6 +77,15 @@ bench-collector:
 .PHONY: bench-codec
 bench-codec:
 	$(GO) run ./tools/benchcodec -out BENCH_codec.json
+
+# Warehouse perf snapshot: cold index build vs incremental refresh vs
+# query latency over 20 runs x 100k records total, plus the speedup of
+# an indexed query over a raw store rescan (the acceptance bar is 10x),
+# recorded in BENCH_warehouse.json. Regenerate after warehouse changes
+# and commit the diff alongside them.
+.PHONY: bench-warehouse
+bench-warehouse:
+	$(GO) run ./tools/benchwarehouse -out BENCH_warehouse.json
 
 .PHONY: cover
 cover:

@@ -11,7 +11,8 @@
 //	perfeval shard-plan <id>|all -Dsched.shards=N [-Djournal.dir=DIR]
 //	perfeval merge <out.jsonl|out.arch> <src.jsonl|src.arch>... [-Dmerge.strict=true]
 //	perfeval archive <out.arch|out.archz> <src.jsonl|src.arch>...
-//	perfeval inspect <file>... [-Dinspect.strict=true]
+//	perfeval inspect <file|dir>... [-Dinspect.strict=true]
+//	perfeval query <dir> [-Dquery.kind=runs|history|trends|regressions] [-Dquery.experiment=NAME] [-Dquery.cell=HASH|"k=v k=v"] [-Dquery.response=NAME] [-Dquery.limit=N] [-Dquery.format=table|json]
 //	perfeval diff <baseline.jsonl> <current.jsonl> [-Ddiff.confidence=0.95] [-Ddiff.tolerance=0.05]
 //	perfeval compact <journal.jsonl> [-Dcompact.out=PATH]
 //	perfeval suite
@@ -107,6 +108,25 @@
 // the fast append/scan path. merge, inspect, diff, and compact read and
 // write .binj files exactly as they do journals and archives.
 //
+// query asks the result warehouse (internal/warehouse; docs/WAREHOUSE.md)
+// one question: `perfeval query <dir>` indexes every store file under
+// the directory — incrementally, unchanged files are skipped on a stat —
+// and answers from the per-cell aggregate index alone, never rescanning
+// record blocks. -Dquery.kind selects the question (runs lists the
+// indexed runs; history follows one design cell across runs, with
+// confidence intervals rebuilt from the index; trends draws
+// per-(experiment, response) mean lines; regressions lists cells whose
+// newest run shifted against the previous one under the regression
+// gate's CI-shift rule). -Dquery.cell selects a cell by assignment hash
+// or canonical "k=v k=v" string; -Dquery.confidence and
+// -Dquery.tolerance tune the intervals like diff's flags;
+// -Dquery.keep=N / -Dquery.maxage=DUR apply retention (pruned runs
+// leave the index, source files are never touched);
+// -Dquery.norefresh=true answers from the index without walking the
+// directory; -Dquery.format=json emits the same body a collector
+// daemon's GET /v1/query serves. inspect also accepts directories,
+// listing every store the warehouse catalog would discover.
+//
 // diff loads two run stores, aggregates them per (assignment,
 // response), and applies the regression gate: confidence intervals that
 // have shifted versus the baseline are flagged and the command exits
@@ -123,6 +143,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -163,7 +184,7 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 		return err
 	}
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: perfeval list | run <id>|all | serve | work <id>|all | metrics | shard-plan <id>|all | merge <out> <src>... | archive <out.arch> <src>... | inspect <file>... | diff <baseline> <current> | compact <journal> | suite")
+		return fmt.Errorf("usage: perfeval list | run <id>|all | serve | work <id>|all | metrics | shard-plan <id>|all | merge <out> <src>... | archive <out.arch> <src>... | inspect <file|dir>... | query <dir> | diff <baseline> <current> | compact <journal> | suite")
 	}
 	switch rest[0] {
 	case "list":
@@ -216,9 +237,15 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 
 	case "inspect":
 		if len(rest) < 2 {
-			return fmt.Errorf("usage: perfeval inspect <file>... [-Dinspect.strict=true]")
+			return fmt.Errorf("usage: perfeval inspect <file|dir>... [-Dinspect.strict=true]")
 		}
 		return inspect(w, props, rest[1:])
+
+	case "query":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: perfeval query <dir> [-Dquery.kind=runs|history|trends|regressions] [-Dquery.experiment=NAME] [-Dquery.cell=HASH|\"k=v k=v\"] [-Dquery.response=NAME] [-Dquery.confidence=0.95] [-Dquery.tolerance=0.05] [-Dquery.limit=N] [-Dquery.keep=N] [-Dquery.maxage=DUR] [-Dquery.norefresh=true] [-Dquery.format=table|json]")
+		}
+		return queryCmd(w, props, rest[1])
 
 	case "diff":
 		if len(rest) != 3 {
@@ -250,7 +277,7 @@ func runCtxW(ctx context.Context, w io.Writer, args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, serve, work, metrics, shard-plan, merge, archive, inspect, diff, compact, or suite)", rest[0])
+		return fmt.Errorf("unknown command %q (want list, run, serve, work, metrics, shard-plan, merge, archive, inspect, query, diff, compact, or suite)", rest[0])
 	}
 }
 
@@ -490,8 +517,10 @@ func strictFlag(props *config.Properties, key string) (bool, error) {
 
 // inspect prints the shape of store files — journals or archives — and
 // reports torn or truncated tails loudly instead of letting a damaged
-// artifact read as a small complete one. inspect.strict=true turns any
-// torn file into a non-zero exit for CI use.
+// artifact read as a small complete one. A directory argument expands to
+// every store file the warehouse catalog would discover under it, one
+// row per store. inspect.strict=true turns any torn file into a
+// non-zero exit for CI use.
 func inspect(w io.Writer, props *config.Properties, paths []string) error {
 	strict, err := strictFlag(props, "inspect.strict")
 	if err != nil {
@@ -499,18 +528,38 @@ func inspect(w io.Writer, props *config.Properties, paths []string) error {
 	}
 	tab := repro.NewTable().Header("file", "records", "distinct", "torn")
 	var details, torn []string
+	addRow := func(name string, info repro.Info) {
+		tab.Row(name, fmt.Sprintf("%d", info.Records), fmt.Sprintf("%d", info.Distinct), fmt.Sprintf("%v", info.Torn))
+		if info.Detail != "" {
+			details = append(details, name+": "+info.Detail)
+		}
+		if info.Torn {
+			torn = append(torn, name)
+		}
+	}
 	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		if st.IsDir() {
+			stores, err := repro.InspectDir(p)
+			if err != nil {
+				return err
+			}
+			if len(stores) == 0 {
+				details = append(details, p+": no store files discovered")
+			}
+			for _, s := range stores {
+				addRow(filepath.Join(p, filepath.FromSlash(s.Path)), s.Info)
+			}
+			continue
+		}
 		info, err := repro.Inspect(p)
 		if err != nil {
 			return err
 		}
-		tab.Row(p, fmt.Sprintf("%d", info.Records), fmt.Sprintf("%d", info.Distinct), fmt.Sprintf("%v", info.Torn))
-		if info.Detail != "" {
-			details = append(details, p+": "+info.Detail)
-		}
-		if info.Torn {
-			torn = append(torn, p)
-		}
+		addRow(p, info)
 	}
 	fmt.Fprint(w, tab.String())
 	for _, d := range details {
@@ -591,6 +640,71 @@ func shardPlan(w io.Writer, props *config.Properties, id string) error {
 			fmt.Sprintf("%d", info.Distinct), fmt.Sprintf("%v", info.Torn))
 	}
 	fmt.Fprint(w, tab.String())
+	return nil
+}
+
+// queryCmd maps the query.* properties onto a repro.QueryConfig and
+// prints the answer — the house-style table by default, or with
+// query.format=json the exact body a collector daemon serves on
+// GET /v1/query for the same warehouse.
+func queryCmd(w io.Writer, props *config.Properties, dir string) error {
+	cfg := repro.QueryConfig{
+		Dir:        dir,
+		Kind:       props.GetOr("query.kind", ""),
+		Experiment: props.GetOr("query.experiment", ""),
+		Cell:       props.GetOr("query.cell", ""),
+		Response:   props.GetOr("query.response", ""),
+	}
+	var err error
+	if props.GetOr("query.confidence", "") != "" {
+		if cfg.Confidence, err = props.GetFloat("query.confidence"); err != nil {
+			return err
+		}
+	}
+	if props.GetOr("query.tolerance", "") != "" {
+		if cfg.Tolerance, err = props.GetFloat("query.tolerance"); err != nil {
+			return err
+		}
+	}
+	if props.GetOr("query.limit", "") != "" {
+		if cfg.Limit, err = props.GetInt("query.limit"); err != nil {
+			return err
+		}
+	}
+	if props.GetOr("query.keep", "") != "" {
+		if cfg.KeepRuns, err = props.GetInt("query.keep"); err != nil {
+			return err
+		}
+	}
+	if props.GetOr("query.maxage", "") != "" {
+		if cfg.MaxAge, err = props.GetDuration("query.maxage"); err != nil {
+			return err
+		}
+	}
+	if cfg.NoRefresh, err = strictFlag(props, "query.norefresh"); err != nil {
+		return err
+	}
+	format := props.GetOr("query.format", "table")
+	if format != "table" && format != "json" {
+		return fmt.Errorf("unknown query format %q (want table or json)", format)
+	}
+	out, err := repro.Query(cfg)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out.Result)
+	}
+	if !cfg.NoRefresh {
+		fmt.Fprintf(w, "catalog: %d store(s) discovered, %d ingested (%d record(s)), %d unchanged\n",
+			out.Refresh.Candidates, out.Refresh.Ingested, out.Refresh.Records, out.Refresh.Unchanged)
+	}
+	if cfg.KeepRuns > 0 || cfg.MaxAge > 0 {
+		fmt.Fprintf(w, "retention: %d run(s) pruned, %d kept\n", out.Prune.Pruned, out.Prune.Kept)
+	}
+	fmt.Fprint(w, out.Result.String())
 	return nil
 }
 

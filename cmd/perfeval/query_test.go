@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/obs"
+	"repro/internal/runstore"
+	"repro/internal/warehouse"
+)
+
+// seedWarehouseDir writes three runs of one cell with well-separated
+// means (10, 10.1, 20) so history, trends, and the regression listing
+// all have something to say. Modtimes are pinned so run order is
+// deterministic.
+func seedWarehouseDir(t *testing.T, dir string) string {
+	t.Helper()
+	assign := map[string]string{"f": "x"}
+	bases := []float64{10, 10.1, 20}
+	for i, base := range bases {
+		path := filepath.Join(dir, []string{"r0.jsonl", "r1.jsonl", "r2.jsonl"}[i])
+		j, err := runstore.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			if err := j.Append(runstore.Record{
+				Experiment: "e",
+				Replicate:  rep,
+				Hash:       runstore.AssignmentHash(assign),
+				Assignment: assign,
+				Responses:  map[string]float64{"ms": base + float64(rep-1)*0.1},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mod := time.Unix(500+int64(i), 0)
+		if err := os.Chtimes(path, mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return runstore.AssignmentHash(assign)
+}
+
+func TestQueryCommandTable(t *testing.T) {
+	dir := t.TempDir()
+	hash := seedWarehouseDir(t, dir)
+
+	var out bytes.Buffer
+	if err := runW(&out, []string{"-Dquery.kind=history", "-Dquery.cell=" + hash, "query", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"catalog: 3 store(s) discovered",
+		"cell history: 3 points",
+		"r2.jsonl",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("query table output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := runW(&out, []string{"-Dquery.kind=regressions", "query", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("regression listing missing REGRESSED:\n%s", out.String())
+	}
+
+	// The default kind is the runs listing; a second invocation hits the
+	// already-built index (every source unchanged).
+	out.Reset()
+	if err := runW(&out, []string{"query", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 unchanged") {
+		t.Errorf("second query did not reuse the index:\n%s", out.String())
+	}
+
+	// Retention flags prune through the CLI.
+	out.Reset()
+	if err := runW(&out, []string{"-Dquery.keep=1", "query", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "retention: 2 run(s) pruned, 1 kept") {
+		t.Errorf("retention output missing prune count:\n%s", out.String())
+	}
+
+	for _, bad := range [][]string{
+		{"query"},
+		{"query", dir, "extra"},
+		{"query", filepath.Join(dir, "absent")},
+		{"-Dquery.kind=bogus", "query", dir},
+		{"-Dquery.confidence=x", "query", dir},
+		{"-Dquery.limit=x", "query", dir},
+		{"-Dquery.keep=x", "query", dir},
+		{"-Dquery.maxage=x", "query", dir},
+		{"-Dquery.format=xml", "query", dir},
+	} {
+		if err := runW(io.Discard, bad); err == nil {
+			t.Errorf("runW(%v) should error", bad)
+		}
+	}
+}
+
+// TestQueryCommandJSONMatchesHTTP is the parity acceptance check: the
+// CLI's JSON output and the collector's GET /v1/query body decode to
+// the same warehouse.Result for the same store directory, because both
+// run the same query core.
+func TestQueryCommandJSONMatchesHTTP(t *testing.T) {
+	dir := t.TempDir()
+	hash := seedWarehouseDir(t, dir)
+
+	var out bytes.Buffer
+	if err := runW(&out, []string{
+		"-Dquery.kind=history", "-Dquery.cell=" + hash, "-Dquery.response=ms",
+		"-Dquery.format=json", "query", dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var fromCLI warehouse.Result
+	if err := json.Unmarshal(out.Bytes(), &fromCLI); err != nil {
+		t.Fatalf("CLI json output does not decode: %v\n%s", err, out.String())
+	}
+	if len(fromCLI.History) != 3 || math.Abs(fromCLI.History[2].Mean-20) > 1e-9 {
+		t.Fatalf("CLI history = %+v", fromCLI.History)
+	}
+
+	srv, err := collector.New(collector.Config{Dir: dir, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	resp, err := http.Get(hs.URL + collector.PathQuery + "?kind=history&cell=" + hash + "&response=ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/query status = %d", resp.StatusCode)
+	}
+	var fromHTTP warehouse.Result
+	if err := json.NewDecoder(resp.Body).Decode(&fromHTTP); err != nil {
+		t.Fatal(err)
+	}
+	// IngestTimeNS differs between the CLI's index build and the
+	// daemon's; the answers must agree on everything else.
+	for i := range fromHTTP.History {
+		fromHTTP.History[i].IngestTimeNS = fromCLI.History[i].IngestTimeNS
+	}
+	if !reflect.DeepEqual(fromCLI, fromHTTP) {
+		t.Fatalf("CLI and HTTP answers diverge:\ncli:  %+v\nhttp: %+v", fromCLI, fromHTTP)
+	}
+}
+
+func TestInspectDirectory(t *testing.T) {
+	dir := t.TempDir()
+	seedWarehouseDir(t, dir)
+	var out bytes.Buffer
+	if err := runW(&out, []string{"inspect", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"r0.jsonl", "r1.jsonl", "r2.jsonl"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect %s missing %q:\n%s", dir, want, out.String())
+		}
+	}
+	// An empty directory is reported, not an error.
+	out.Reset()
+	if err := runW(&out, []string{"inspect", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no store files discovered") {
+		t.Errorf("empty-dir inspect output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,112 @@
+package collector
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/warehouse"
+)
+
+// queryState is the server's lazily-opened warehouse over its store
+// directory. The warehouse is a read-only consumer of the collected
+// shard journals: every query refreshes the catalog first (incremental
+// — unchanged files are skipped on a stat), so answers track the live
+// stores without the daemon scheduling any background work.
+type queryState struct {
+	mu sync.Mutex
+	wh *warehouse.Warehouse
+}
+
+// warehouseLocked opens (once) the server's warehouse. The index file
+// lives next to the collected stores, so a daemon restart keeps it.
+func (s *Server) warehouse() (*warehouse.Warehouse, error) {
+	s.query.mu.Lock()
+	defer s.query.mu.Unlock()
+	if s.query.wh == nil {
+		wh, err := warehouse.Open(s.cfg.Dir, warehouse.Options{
+			Metrics: s.reg,
+			Clock:   s.cfg.Clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.query.wh = wh
+	}
+	return s.query.wh, nil
+}
+
+// closeWarehouse releases the lazily-opened warehouse; called by Close.
+func (s *Server) closeWarehouse() error {
+	s.query.mu.Lock()
+	defer s.query.mu.Unlock()
+	if s.query.wh == nil {
+		return nil
+	}
+	err := s.query.wh.Close()
+	s.query.wh = nil
+	return err
+}
+
+// handleQuery answers GET /v1/query: a read-only warehouse query over
+// the collected stores. Like the status and metrics views it stays
+// outside the bearer-token gate — it serves aggregates, never record
+// data — and it never mutates the stores (retention pruning is a CLI
+// operation, not a daemon endpoint).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := queryRequestFromURL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wh, err := s.warehouse()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if _, err := wh.Refresh(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res, err := wh.Query(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// queryRequestFromURL maps the /v1/query parameters onto a warehouse
+// Request; defaults are the warehouse's own.
+func queryRequestFromURL(r *http.Request) (warehouse.Request, error) {
+	q := r.URL.Query()
+	req := warehouse.Request{
+		Kind:       q.Get("kind"),
+		Experiment: q.Get("experiment"),
+		Cell:       q.Get("cell"),
+		Response:   q.Get("response"),
+	}
+	if v := q.Get("confidence"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, fmt.Errorf("collector: bad confidence %q: %v", v, err)
+		}
+		req.Confidence = f
+	}
+	if v := q.Get("tolerance"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, fmt.Errorf("collector: bad tolerance %q: %v", v, err)
+		}
+		req.Tolerance = f
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("collector: bad limit %q: %v", v, err)
+		}
+		req.Limit = n
+	}
+	return req, nil
+}

@@ -127,6 +127,8 @@ type Server struct {
 	state *stateLog // durable control state; replayed by New on restart
 	epoch int       // this daemon incarnation, embedded in lease ids
 
+	query queryState // lazily-opened warehouse behind GET /v1/query
+
 	mu      sync.Mutex
 	workers map[string]struct{}
 	exps    map[string]*experiment
@@ -225,6 +227,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET "+PathCells, s.handleCells)
 	mux.HandleFunc("GET "+PathGate, s.handleGate)
 	mux.HandleFunc("GET "+PathMetrics, s.handleMetrics)
+	mux.HandleFunc("GET "+PathQuery, s.handleQuery)
 	s.mux = mux
 	return s, nil
 }
@@ -292,6 +295,9 @@ func (s *Server) Close() error {
 		if err := e.store.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if err := s.closeWarehouse(); err != nil && first == nil {
+		first = err
 	}
 	if err := s.state.close(); err != nil && first == nil {
 		first = err

@@ -34,6 +34,12 @@ const (
 	// Prometheus text format, or JSON via ?format=json or an
 	// Accept: application/json header.
 	PathMetrics = "/v1/metrics"
+	// PathQuery answers warehouse queries over the collected stores
+	// (GET, ?kind=&experiment=&cell=&response=&confidence=&tolerance=
+	// &limit=). The response body is the warehouse query Result —
+	// identical, for the same warehouse, to what `perfeval query`
+	// prints as JSON; both run the same internal/warehouse core.
+	PathQuery = "/v1/query"
 )
 
 // HeaderStaleLease marks a 409 response caused by a lease id from an

@@ -1,0 +1,59 @@
+// Package warehouse turns a directory of finished run stores into a
+// queryable result history — the fourth pillar next to execute
+// (internal/sched), store (internal/runstore), and collect
+// (internal/collector).
+//
+// Three layers:
+//
+//   - The catalog (Discover, Warehouse.Refresh) walks a root directory
+//     for store files every runstore reader understands — JSONL
+//     journals, binary journals, block-indexed archives — and treats
+//     each file as one *run*. Refresh is incremental: a source whose
+//     size and modification time are unchanged is never re-read, and a
+//     changed one is re-ingested whole (its run summary is replaced,
+//     last-wins). Sources that vanish stay in the index: the warehouse
+//     is the history, the store files are only its substrate.
+//   - The cell-history index (Engine, the default checksummed file
+//     engine) persists one summary per run: per (experiment, cell,
+//     response) aggregates — replicate count, mean, unbiased sample
+//     variance — from which confidence intervals are rebuilt at query
+//     time via internal/stats. Queries are O(index) and never touch
+//     the source record blocks; deleting every source file after a
+//     Refresh changes no answer.
+//   - The query core (Request, Result, Warehouse.Query) answers run
+//     listings, per-cell history, per-experiment trend lines, and
+//     regression listings reusing the CI-shift rule of the runstore
+//     regression gate (disjoint intervals, higher mean = regressed).
+//     The same core backs repro.Query, `perfeval query`, and the
+//     collector daemon's GET /v1/query, so they cannot drift.
+//
+// Durability contract: the index file is append-only in the binary
+// journal's framing discipline (magic header, length-prefixed CRC-32C
+// frames, one fsync per Put); a crash leaves at most one torn trailing
+// frame, truncated on the next open. Because length-prefixed framing
+// cannot resynchronize, a frame that fails its checksum ends the
+// readable region exactly like a torn tail — the entries it hid are
+// re-ingested by the next Refresh, so the index self-heals instead of
+// serving a silently shortened history as complete. Two shapes a torn
+// single-write append cannot produce are errors: a complete header
+// claiming an impossible payload length, and a checksum-valid payload
+// that does not decode. A foreign magic header is always an error. The
+// index expects one writer at a time; concurrent writers stay
+// consistent (appends are O_APPEND atomic, entries are last-wins by
+// run path) but may duplicate frames.
+//
+// Concurrency contract: a Warehouse is safe for concurrent use —
+// Refresh, Prune, and Query serialize on an internal mutex, so a
+// long-lived embedder (the collector daemon) can serve queries while
+// the catalog refreshes.
+//
+// Retention (Warehouse.Prune) drops expired runs from the index only —
+// source files are never touched — by replacing each expired entry
+// with a tombstone that remembers the source's size and modification
+// time, so a later Refresh does not silently resurrect it.
+//
+// The Engine seam exists so an indexed SQL engine (e.g. a sqlite
+// backend) can replace the file engine without touching the catalog or
+// the query core; the default engine is dependency-free on purpose —
+// building this repository must never need the network.
+package warehouse

@@ -1,0 +1,308 @@
+package warehouse
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Run is one ingested store file's summary — the unit of history. Path
+// (relative to the warehouse root, slash-separated) is the run's
+// identity; Size, ModTimeNS, and Fingerprint are the change-detection
+// seam Refresh uses; Cells carry the per-cell aggregates every query
+// answers from.
+type Run struct {
+	// Path is the run id: the source file's slash path under the root.
+	Path string `json:"path"`
+	// Size is the source file's byte size at ingest time.
+	Size int64 `json:"size"`
+	// ModTimeNS is the source file's modification time (Unix
+	// nanoseconds) at ingest time; history orders runs by it.
+	ModTimeNS int64 `json:"mod_time_ns"`
+	// IngestTimeNS is when the warehouse first ingested this content
+	// (Unix nanoseconds); a re-ingest whose content fingerprint is
+	// unchanged keeps it.
+	IngestTimeNS int64 `json:"ingest_time_ns"`
+	// Fingerprint is an order-independent combination of every record's
+	// runstore.Fingerprint and key — equal record sets fingerprint
+	// identically regardless of store format or record order.
+	Fingerprint uint64 `json:"fingerprint"`
+	// Format names the source's on-disk format ("journal", "binary",
+	// "archive"), for display only.
+	Format string `json:"format"`
+	// Records is the distinct last-wins record count of the source.
+	Records int `json:"records"`
+	// Pruned marks a retention tombstone: the run left the queryable
+	// history but its identity (and change-detection meta) is kept so a
+	// Refresh does not silently resurrect it.
+	Pruned bool `json:"pruned,omitempty"`
+	// Cells are the run's per-(experiment, cell, response) aggregates,
+	// sorted by (experiment, assignment, response). Empty on tombstones.
+	Cells []Cell `json:"cells,omitempty"`
+}
+
+// Cell is one (experiment, design cell, response) aggregate of one run:
+// everything a Student-t confidence interval needs, without the raw
+// replicate values.
+type Cell struct {
+	// Experiment names the experiment the cell belongs to.
+	Experiment string `json:"experiment"`
+	// Hash is the cell's assignment hash (runstore.AssignmentHash).
+	Hash string `json:"hash"`
+	// Assignment is the cell's factor-level assignment.
+	Assignment map[string]string `json:"assignment"`
+	// Response names the measured response.
+	Response string `json:"response"`
+	// N is the replicate count.
+	N int `json:"n"`
+	// Mean is the arithmetic mean of the replicate values.
+	Mean float64 `json:"mean"`
+	// Variance is the unbiased sample variance (divisor n-1); 0 when
+	// N < 2.
+	Variance float64 `json:"variance"`
+}
+
+// Engine is the storage seam the warehouse index sits behind. The
+// default is the dependency-free checksummed file engine
+// (OpenFileEngine); an indexed SQL engine can replace it without
+// touching the catalog or the query core. Implementations must be safe
+// for concurrent use.
+type Engine interface {
+	// Runs returns the last-wins view of every indexed run — tombstones
+	// included — sorted by (ModTimeNS, Path).
+	Runs() []Run
+	// Put durably inserts or replaces one run's summary, keyed by Path.
+	Put(Run) error
+	// Close releases the engine's resources; Runs keeps serving the
+	// in-memory view, Put fails afterwards.
+	Close() error
+}
+
+const (
+	// IndexMagic is the 8-byte header every warehouse index file starts
+	// with. The digit is the format version: an incompatible change to
+	// the frame or payload layout bumps it, so old readers reject new
+	// files instead of misparsing them.
+	IndexMagic = "PEVWHS1\n"
+	// IndexFile is the default index file name under the warehouse root.
+	// The catalog never ingests it.
+	IndexFile = "warehouse.idx"
+
+	idxFrameHeaderSize = 4 + 4 // payload length, payload CRC
+
+	// maxIndexFrame bounds a frame payload so a corrupt length field
+	// cannot drive a multi-gigabyte allocation during recovery scans.
+	maxIndexFrame = 1 << 28
+)
+
+// idxCastagnoli is the CRC-32C table every index frame checksum uses —
+// the same polynomial as the binary record journal.
+var idxCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// fileEngine is the default Engine: an append-only file of
+// length-prefixed CRC-32C frames, each framing one Run's JSON document,
+// with the binary journal's crash discipline — one write plus one fsync
+// per Put, torn trailing frame truncated on open, corrupt interior
+// frame an error.
+type fileEngine struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	runs map[string]Run // last-wins by Run.Path
+	torn bool
+}
+
+// OpenFileEngine opens (creating if absent) the index file at path.
+// A torn trailing frame — a crash mid-Put — is truncated; a corrupt
+// interior frame or a foreign magic header is an error, because
+// silently dropping indexed history would let a stale index masquerade
+// as a fresh one.
+func OpenFileEngine(path string) (Engine, error) {
+	e := &fileEngine{path: path, runs: make(map[string]Run)}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("warehouse: %w", err)
+	}
+	keep, err := e.parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: %s: %w", path, err)
+	}
+	// O_APPEND makes each Put's single Write land atomically at EOF, so
+	// concurrent writers interleave whole frames, never halves.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: %w", err)
+	}
+	if keep < int64(len(data)) {
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("warehouse: truncating torn index tail: %w", err)
+		}
+	}
+	if len(data) == 0 {
+		if _, err := f.WriteString(IndexMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("warehouse: %w", err)
+		}
+	}
+	e.f = f
+	return e, nil
+}
+
+// parse loads every complete frame from data and returns the byte
+// offset up to which the file is intact. An empty file is a fresh
+// index; anything shorter than the magic, or with the wrong magic, is
+// foreign. The torn-tail discipline is the binary journal's:
+// length-prefixed framing cannot resynchronize, so the first invalid
+// frame — short header, short payload, checksum mismatch — ends the
+// readable region (torn=true, everything before it kept), while two
+// shapes a torn single-write append cannot produce are errors: a
+// complete header claiming an impossible payload length, and a
+// checksum-valid payload that does not decode.
+func (e *fileEngine) parse(data []byte) (keep int64, err error) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if len(data) < len(IndexMagic) || string(data[:len(IndexMagic)]) != IndexMagic {
+		return 0, fmt.Errorf("not a warehouse index (bad magic)")
+	}
+	off := int64(len(IndexMagic))
+	rest := data[off:]
+	for len(rest) > 0 {
+		if len(rest) < idxFrameHeaderSize {
+			e.torn = true
+			return off, nil
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if plen > maxIndexFrame {
+			return 0, fmt.Errorf("corrupt index frame at byte %d: impossible payload length %d", off, plen)
+		}
+		if int64(len(rest)) < int64(idxFrameHeaderSize)+int64(plen) {
+			e.torn = true
+			return off, nil
+		}
+		payload := rest[idxFrameHeaderSize : idxFrameHeaderSize+int(plen)]
+		if crc32.Checksum(payload, idxCastagnoli) != sum {
+			e.torn = true
+			return off, nil
+		}
+		var r Run
+		if uerr := json.Unmarshal(payload, &r); uerr != nil {
+			return 0, fmt.Errorf("corrupt index frame at byte %d: %v", off, uerr)
+		}
+		if r.Path == "" {
+			return 0, fmt.Errorf("corrupt index frame at byte %d: run without a path", off)
+		}
+		e.runs[r.Path] = r
+		off += int64(idxFrameHeaderSize) + int64(plen)
+		rest = rest[idxFrameHeaderSize+int(plen):]
+	}
+	return off, nil
+}
+
+// Runs implements Engine.
+func (e *fileEngine) Runs() []Run {
+	e.mu.Lock()
+	out := make([]Run, 0, len(e.runs))
+	for _, r := range e.runs {
+		out = append(out, r)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ModTimeNS != out[j].ModTimeNS {
+			return out[i].ModTimeNS < out[j].ModTimeNS
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// encodeIndexFrame frames one Run as its on-disk index bytes: the
+// length-prefixed CRC-32C header followed by the JSON payload.
+func encodeIndexFrame(r Run) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: %w", err)
+	}
+	frame := make([]byte, idxFrameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, idxCastagnoli))
+	copy(frame[idxFrameHeaderSize:], payload)
+	return frame, nil
+}
+
+// Put implements Engine: one frame appended with a single Write call
+// followed by Sync, so a crash leaves at most one torn frame.
+func (e *fileEngine) Put(r Run) error {
+	if r.Path == "" {
+		return fmt.Errorf("warehouse: run needs a path")
+	}
+	frame, err := encodeIndexFrame(r)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return fmt.Errorf("warehouse: index %s is closed", e.path)
+	}
+	if _, err := e.f.Write(frame); err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	if err := e.f.Sync(); err != nil {
+		return fmt.Errorf("warehouse: %w", err)
+	}
+	e.runs[r.Path] = r
+	return nil
+}
+
+// Close implements Engine.
+func (e *fileEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	err := e.f.Close()
+	e.f = nil
+	return err
+}
+
+// Torn reports whether a torn trailing frame was truncated on open —
+// surfaced for tests and inspection tooling.
+func (e *fileEngine) Torn() bool { return e.torn }
+
+// InspectIndex reports the shape of an index file without opening it
+// for writing: run and tombstone counts and whether the tail was torn.
+func InspectIndex(path string) (runs, pruned int, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("warehouse: %w", err)
+	}
+	e := &fileEngine{runs: make(map[string]Run)}
+	if _, err := e.parse(data); err != nil {
+		return 0, 0, false, fmt.Errorf("warehouse: %s: %w", path, err)
+	}
+	for _, r := range e.runs {
+		if r.Pruned {
+			pruned++
+		}
+	}
+	return len(e.runs), pruned, e.torn, nil
+}
+
+// readFrames is a test seam: it decodes every frame of an index byte
+// stream through the same parser Open uses, reporting the intact run
+// view — the fuzz target drives the decoder through it.
+func readFrames(data []byte) (map[string]Run, bool, error) {
+	e := &fileEngine{runs: make(map[string]Run)}
+	if _, err := e.parse(data); err != nil {
+		return nil, false, err
+	}
+	return e.runs, e.torn, nil
+}

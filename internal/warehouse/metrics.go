@@ -1,0 +1,26 @@
+package warehouse
+
+import "repro/internal/obs"
+
+// metrics holds the warehouse's instruments. The series are documented
+// in docs/OBSERVABILITY.md; names are part of the stability contract.
+type metrics struct {
+	ingestRecords *obs.Counter   // warehouse_ingest_records_total
+	ingestRuns    *obs.Counter   // warehouse_ingest_runs_total
+	queries       *obs.Counter   // warehouse_queries_total
+	querySeconds  *obs.Histogram // warehouse_query_seconds
+}
+
+// newMetrics registers (get-or-create) the warehouse instruments in reg.
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		ingestRecords: reg.Counter("warehouse_ingest_records_total",
+			"Records aggregated into the warehouse index by catalog ingest."),
+		ingestRuns: reg.Counter("warehouse_ingest_runs_total",
+			"Source stores (runs) ingested or re-ingested into the warehouse index."),
+		queries: reg.Counter("warehouse_queries_total",
+			"Warehouse queries answered, across every surface (library, CLI, collector)."),
+		querySeconds: reg.Histogram("warehouse_query_seconds",
+			"Warehouse query latency in seconds.", obs.DefBuckets),
+	}
+}

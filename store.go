@@ -3,12 +3,15 @@ package repro
 import (
 	"fmt"
 	"iter"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 
 	"repro/internal/runstore"
 	"repro/internal/runstore/archivestore"
 	"repro/internal/runstore/shardstore"
+	"repro/internal/warehouse"
 )
 
 // Record is one stored execution unit: the responses measured for one
@@ -86,11 +89,64 @@ func Collect(seq iter.Seq2[Record, error]) ([]Record, error) {
 	return runstore.Collect(seq)
 }
 
-// Inspect reports the shape of the store file at path — record and
-// distinct counts, torn or truncated tails, backend-specific detail —
-// without opening it for writing.
+// Inspect reports the shape of the store at path — record and distinct
+// counts, torn or truncated tails, backend-specific detail — without
+// opening it for writing. A directory is inspected as the warehouse
+// catalog would see it: every discovered store file contributes to the
+// aggregate counts, and Detail reports how many stores were found (use
+// InspectDir for the per-store breakdown).
 func Inspect(path string) (Info, error) {
-	return runstore.Inspect(path)
+	st, err := os.Stat(path)
+	if err != nil {
+		return Info{}, fmt.Errorf("repro: %w", err)
+	}
+	if !st.IsDir() {
+		return runstore.Inspect(path)
+	}
+	stores, err := InspectDir(path)
+	if err != nil {
+		return Info{}, err
+	}
+	var agg Info
+	for _, s := range stores {
+		agg.Records += s.Info.Records
+		agg.Distinct += s.Info.Distinct
+		if s.Info.Torn {
+			agg.Torn = true
+		}
+	}
+	agg.Detail = fmt.Sprintf("directory: %d store(s)", len(stores))
+	return agg, nil
+}
+
+// StoreStatus is one discovered store in a directory inspection: its
+// slash path relative to the inspected directory and its shape.
+type StoreStatus struct {
+	// Path is the store file's slash-separated path relative to the
+	// inspected directory.
+	Path string
+	// Info is the store's shape, as Inspect on the file reports it.
+	Info Info
+}
+
+// InspectDir discovers every store file under dir exactly as the
+// warehouse catalog does — journals, binary journals, archives; hidden
+// files, the warehouse index, and the collector's control-state journal
+// skipped — and reports each store's shape, sorted by path.
+func InspectDir(dir string) ([]StoreStatus, error) {
+	rels, err := warehouse.Discover(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StoreStatus, 0, len(rels))
+	for _, rel := range rels {
+		info, err := runstore.Inspect(filepath.Join(dir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, fmt.Errorf("repro: inspecting %s: %w", rel, err)
+		}
+		out = append(out, StoreStatus{Path: rel, Info: info})
+	}
+	return out, nil
 }
 
 // Merge folds the store files at srcs into dst: last-wins per

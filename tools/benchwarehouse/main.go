@@ -1,0 +1,270 @@
+// Command benchwarehouse measures what the warehouse index buys and
+// writes the BENCH_warehouse.json snapshot: over a directory of 20
+// runs holding 10^5 records total, it times the cold index build, the
+// steady-state incremental refresh (every source unchanged —
+// stat-skips only), the four query kinds answered from the index, and
+// the same cell-history answer recomputed by brute force from the raw
+// stores.
+//
+// The headline is the query-vs-rescan speedup; the acceptance bar for
+// the index is >= 10x on cell history at this scale. Run via
+// `make bench-warehouse`; regenerate after warehouse changes and
+// commit the diff alongside them.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runstore"
+	"repro/internal/stats"
+	"repro/internal/warehouse"
+)
+
+// result is one timed operation: best wall time of `rounds` runs.
+type result struct {
+	Op      string  `json:"op"`
+	Seconds float64 `json:"seconds"`
+	// PerSecond is records/s for ingest ops and queries/s for query ops.
+	PerSecond float64 `json:"per_second"`
+}
+
+// snapshot is the BENCH_warehouse.json document.
+type snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Note      string   `json:"note"`
+	Records   int      `json:"records"`
+	RunsCount int      `json:"runs_count"`
+	Runs      []result `json:"runs"`
+	// QueryVsRescan is history-query throughput / brute-force rescan
+	// throughput — the speedup the index buys over re-reading stores.
+	QueryVsRescan float64 `json:"query_vs_rescan"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_warehouse.json", "snapshot output path")
+	total := flag.Int("records", 100_000, "records across all runs")
+	runsN := flag.Int("runs", 20, "store files the records are spread over")
+	rounds := flag.Int("rounds", 3, "repetitions per measurement (best kept)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "benchwarehouse-")
+	if err != nil {
+		log.Fatalf("benchwarehouse: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	cellHash := buildStores(dir, *runsN, *total)
+	snap := snapshot{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Note:      "one directory, records spread over runs; cold = full ingest, refresh = all sources unchanged (stat-skips), queries answered from the index, rescan = the same history recomputed by streaming every store",
+		Records:   *total,
+		RunsCount: *runsN,
+	}
+
+	record := func(op string, perOp float64, fn func() error) float64 {
+		best := time.Duration(0)
+		for r := 0; r < *rounds; r++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				log.Fatalf("benchwarehouse: %s: %v", op, err)
+			}
+			if wall := time.Since(start); best == 0 || wall < best {
+				best = wall
+			}
+		}
+		ps := perOp / best.Seconds()
+		fmt.Printf("%-18s %9.4fs  %14.0f /s\n", op, best.Seconds(), ps)
+		snap.Runs = append(snap.Runs, result{Op: op, Seconds: best.Seconds(), PerSecond: ps})
+		return ps
+	}
+
+	// Cold build: a fresh index file every round.
+	record("cold-build", float64(*total), func() error {
+		idx := filepath.Join(dir, warehouse.IndexFile)
+		if err := os.RemoveAll(idx); err != nil {
+			return err
+		}
+		w, err := warehouse.Open(dir, warehouse.Options{Metrics: obs.NewRegistry()})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		rs, err := w.Refresh()
+		if err != nil {
+			return err
+		}
+		if rs.Ingested != *runsN || rs.Records != *total {
+			return fmt.Errorf("cold build ingested %d run(s) / %d record(s), want %d / %d",
+				rs.Ingested, rs.Records, *runsN, *total)
+		}
+		return nil
+	})
+
+	// The remaining measurements share one warm warehouse — the daemon's
+	// steady state.
+	w, err := warehouse.Open(dir, warehouse.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		log.Fatalf("benchwarehouse: %v", err)
+	}
+	defer w.Close()
+	if _, err := w.Refresh(); err != nil {
+		log.Fatalf("benchwarehouse: %v", err)
+	}
+
+	record("refresh-unchanged", float64(*runsN), func() error {
+		rs, err := w.Refresh()
+		if err != nil {
+			return err
+		}
+		if rs.Unchanged != *runsN {
+			return fmt.Errorf("refresh = %+v, want all %d unchanged", rs, *runsN)
+		}
+		return nil
+	})
+
+	var historyPS float64
+	for _, q := range []struct {
+		op  string
+		req warehouse.Request
+	}{
+		{"query-runs", warehouse.Request{Kind: warehouse.KindRuns}},
+		{"query-history", warehouse.Request{Kind: warehouse.KindHistory, Cell: cellHash, Response: "ms"}},
+		{"query-trends", warehouse.Request{Kind: warehouse.KindTrends}},
+		{"query-regressions", warehouse.Request{Kind: warehouse.KindRegressions}},
+	} {
+		ps := record(q.op, 1, func() error {
+			res, err := w.Query(q.req)
+			if err != nil {
+				return err
+			}
+			if q.req.Kind == warehouse.KindHistory && len(res.History) != *runsN {
+				return fmt.Errorf("history = %d point(s), want %d", len(res.History), *runsN)
+			}
+			return nil
+		})
+		if q.op == "query-history" {
+			historyPS = ps
+		}
+	}
+
+	// The foil: the same cell history recomputed by streaming every
+	// store file — what every query would cost without the index.
+	rescanPS := record("rescan-history", 1, func() error {
+		points, err := rescanHistory(dir, cellHash)
+		if err != nil {
+			return err
+		}
+		if points != *runsN {
+			return fmt.Errorf("rescan = %d point(s), want %d", points, *runsN)
+		}
+		return nil
+	})
+
+	snap.QueryVsRescan = historyPS / rescanPS
+	fmt.Printf("history query vs raw rescan: %.1fx\n", snap.QueryVsRescan)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatalf("benchwarehouse: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("benchwarehouse: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// buildStores writes runsN journal files totalling total records: one
+// tracked cell present in every run (the history/regression target)
+// plus filler cells that give the index realistic width. Returns the
+// tracked cell's hash. Files are written as raw journal bytes (the
+// exact Append framing) so setup doesn't pay 10^5 fsyncs.
+func buildStores(dir string, runsN, total int) string {
+	tracked := map[string]string{"workload": "tpch-q1", "cache": "1MB"}
+	perRun := total / runsN
+	for run := 0; run < runsN; run++ {
+		var buf bytes.Buffer
+		n := perRun
+		if run == runsN-1 {
+			n = total - perRun*(runsN-1)
+		}
+		for i := 0; i < n; i++ {
+			// Every record needs a distinct (experiment, cell, replicate)
+			// key: stores are last-wins, so colliding keys would shrink
+			// the workload. The tracked cell takes 32 replicates; filler
+			// cells take 8 each.
+			assign, rep := tracked, i
+			if i >= 32 { // the rest of the run is filler cells
+				assign, rep = map[string]string{"workload": fmt.Sprintf("w%04d", i/8), "cache": "1MB"}, i%8
+			}
+			rec, err := runstore.NormalizeAppend(runstore.Record{
+				Experiment: "bench-warehouse",
+				Row:        i,
+				Replicate:  rep,
+				Assignment: assign,
+				Responses:  map[string]float64{"ms": 100 + float64(run) + float64(rep%8)*0.1},
+			})
+			if err != nil {
+				log.Fatalf("benchwarehouse: %v", err)
+			}
+			if err := runstore.EncodeWire(&buf, rec); err != nil {
+				log.Fatalf("benchwarehouse: %v", err)
+			}
+		}
+		path := filepath.Join(dir, fmt.Sprintf("run%02d.jsonl", run))
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			log.Fatalf("benchwarehouse: %v", err)
+		}
+		// Distinct mtimes pin the oldest-first run order.
+		mod := time.Now().Add(time.Duration(run-runsN) * time.Second)
+		if err := os.Chtimes(path, mod, mod); err != nil {
+			log.Fatalf("benchwarehouse: %v", err)
+		}
+	}
+	return runstore.AssignmentHash(tracked)
+}
+
+// rescanHistory is the no-index foil: stream every store in the
+// directory, gather the tracked cell's raw samples per run, and rebuild
+// each run's mean CI — the work Query answers from the index.
+func rescanHistory(dir, cellHash string) (points int, err error) {
+	sources, err := warehouse.Discover(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, rel := range sources {
+		var vals []float64
+		for rec, err := range runstore.ScanFile(filepath.Join(dir, filepath.FromSlash(rel))) {
+			if err != nil {
+				return 0, err
+			}
+			if rec.Hash == cellHash {
+				vals = append(vals, rec.Responses["ms"])
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		if _, err := stats.MeanCI(vals, 0.95); err != nil {
+			return 0, err
+		}
+		points++
+	}
+	return points, nil
+}

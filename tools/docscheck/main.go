@@ -41,6 +41,7 @@ var checkedPackages = []string{
 	"internal/collector/client",
 	"internal/collector/soaktest",
 	"internal/obs",
+	"internal/warehouse",
 }
 
 // checkedMarkdown are the markdown files (or directories of them) whose
